@@ -1,0 +1,138 @@
+//! Inspection utilities: DOT export and satisfying-assignment
+//! enumeration.
+
+use crate::{Bdd, Manager};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+impl Manager {
+    /// Renders the diagram rooted at `f` as Graphviz DOT (solid = high
+    /// edge, dashed = low edge).
+    pub fn to_dot(&self, f: Bdd) -> String {
+        let mut s = String::new();
+        writeln!(s, "digraph bdd {{").expect("string write");
+        writeln!(s, "  t0 [label=\"0\", shape=box];").expect("string write");
+        writeln!(s, "  t1 [label=\"1\", shape=box];").expect("string write");
+        let mut seen = HashMap::new();
+        self.dot_rec(f, &mut s, &mut seen);
+        writeln!(s, "}}").expect("string write");
+        s
+    }
+
+    fn dot_rec(&self, f: Bdd, s: &mut String, seen: &mut HashMap<Bdd, ()>) {
+        if self.is_const(f) || seen.contains_key(&f) {
+            return;
+        }
+        seen.insert(f, ());
+        let var = self.top_var(f).expect("non-terminal");
+        let (lo, hi) = self.cofactors_of(f);
+        let name = |b: Bdd, m: &Manager| -> String {
+            if b == m.zero() {
+                "t0".into()
+            } else if b == m.one() {
+                "t1".into()
+            } else {
+                format!("n{}", b.index())
+            }
+        };
+        writeln!(s, "  n{} [label=\"x{}\"];", f.index(), var).expect("string write");
+        writeln!(s, "  n{} -> {} [style=dashed];", f.index(), name(lo, self))
+            .expect("string write");
+        writeln!(s, "  n{} -> {};", f.index(), name(hi, self)).expect("string write");
+        self.dot_rec(lo, s, seen);
+        self.dot_rec(hi, s, seen);
+    }
+
+    /// Enumerates all satisfying assignments of `f` over variables
+    /// `0..nvars`, in ascending binary order (bit `v` of each yielded
+    /// value is variable `v`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nvars > 24` (enumeration would not be practical) or `f`
+    /// depends on a variable `>= nvars`.
+    pub fn satisfying_assignments(&self, f: Bdd, nvars: u32) -> Vec<u32> {
+        assert!(nvars <= 24, "enumeration limited to 24 variables");
+        let mut out = Vec::new();
+        let mut input = vec![false; nvars as usize];
+        for i in 0..(1u32 << nvars) {
+            for (v, b) in input.iter_mut().enumerate() {
+                *b = (i >> v) & 1 == 1;
+            }
+            if self.eval(f, &input) {
+                out.push(i);
+            }
+        }
+        out
+    }
+
+    /// One satisfying assignment (the lexicographically-least along the
+    /// diagram), or `None` for the constant-false function. Linear in the
+    /// number of variables.
+    pub fn any_sat(&self, f: Bdd) -> Option<Vec<(u32, bool)>> {
+        if f == self.zero() {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut cur = f;
+        while !self.is_const(cur) {
+            let var = self.top_var(cur).expect("non-terminal");
+            let (lo, hi) = self.cofactors_of(cur);
+            if lo != self.zero() {
+                path.push((var, false));
+                cur = lo;
+            } else {
+                path.push((var, true));
+                cur = hi;
+            }
+        }
+        debug_assert_eq!(cur, self.one());
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let mut m = Manager::new();
+        let x0 = m.var(0);
+        let x1 = m.var(1);
+        let f = m.and(x0, x1);
+        let d = m.to_dot(f);
+        assert!(d.contains("label=\"x0\""));
+        assert!(d.contains("label=\"x1\""));
+        assert!(d.contains("style=dashed"));
+        assert!(d.contains("t1"));
+    }
+
+    #[test]
+    fn enumerate_sat() {
+        let mut m = Manager::new();
+        let x0 = m.var(0);
+        let x1 = m.var(1);
+        let f = m.xor(x0, x1);
+        assert_eq!(m.satisfying_assignments(f, 2), vec![0b01, 0b10]);
+        assert_eq!(m.satisfying_assignments(m.zero(), 3), Vec::<u32>::new());
+        assert_eq!(m.satisfying_assignments(m.one(), 1), vec![0, 1]);
+    }
+
+    #[test]
+    fn any_sat_finds_witness() {
+        let mut m = Manager::new();
+        let x0 = m.var(0);
+        let nx1 = m.nvar(1);
+        let f = m.and(x0, nx1);
+        let w = m.any_sat(f).expect("satisfiable");
+        // The witness must actually satisfy f.
+        let mut input = vec![false; 2];
+        for &(v, b) in &w {
+            input[v as usize] = b;
+        }
+        assert!(m.eval(f, &input));
+        assert_eq!(m.any_sat(m.zero()), None);
+        assert_eq!(m.any_sat(m.one()), Some(vec![]));
+    }
+}

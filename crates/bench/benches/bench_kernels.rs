@@ -1,0 +1,133 @@
+//! Criterion benchmarks of the algorithmic kernels: label computation
+//! (PLD vs n² on an infeasible probe), the exact MDR ratio, min-period
+//! retiming, and BDD functional decomposition.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use turbosyn::label::{compute_labels, LabelOptions};
+use turbosyn::StopRule;
+use turbosyn_bdd::decompose::{column_multiplicity, decompose};
+use turbosyn_bdd::Manager;
+use turbosyn_graph::cycle_ratio::max_cycle_ratio;
+use turbosyn_netlist::gen;
+use turbosyn_retime::{min_period_retiming, retime_with_pipelining};
+
+fn bench_labels(cr: &mut Criterion) {
+    let c = gen::fsm(gen::FsmConfig {
+        state_bits: 4,
+        inputs: 6,
+        outputs: 4,
+        depth: 8,
+        seed: 55,
+    });
+    // Find the minimum feasible phi, then benchmark the infeasible probe.
+    let mut phi = 1;
+    while !compute_labels(&c, &LabelOptions::turbomap(5, phi)).is_feasible() {
+        phi += 1;
+    }
+    let probe = (phi - 1).max(1);
+    let mut group = cr.benchmark_group("labels_infeasible_probe");
+    group.sample_size(10);
+    group.bench_function("pld", |b| {
+        let o = LabelOptions {
+            stop: StopRule::Pld,
+            ..LabelOptions::turbomap(5, probe)
+        };
+        b.iter(|| compute_labels(black_box(&c), &o))
+    });
+    group.bench_function("n_squared", |b| {
+        let o = LabelOptions {
+            stop: StopRule::NSquared,
+            ..LabelOptions::turbomap(5, probe)
+        };
+        b.iter(|| compute_labels(black_box(&c), &o))
+    });
+    group.bench_function("feasible_turbomap", |b| {
+        let o = LabelOptions::turbomap(5, phi);
+        b.iter(|| compute_labels(black_box(&c), &o))
+    });
+    group.bench_function("feasible_turbosyn", |b| {
+        let o = LabelOptions::turbosyn(5, phi);
+        b.iter(|| compute_labels(black_box(&c), &o))
+    });
+    group.finish();
+}
+
+fn bench_mdr(cr: &mut Criterion) {
+    let c = gen::iscas_like(gen::IscasConfig {
+        layers: 10,
+        width: 100,
+        inputs: 16,
+        outputs: 16,
+        feedback_pct: 10,
+        seed: 9,
+    });
+    let g = c.to_digraph();
+    let d = c.delays();
+    cr.bench_function("mdr_exact_1000_gates", |b| {
+        b.iter(|| max_cycle_ratio(black_box(&g), black_box(&d)).expect("cyclic"))
+    });
+}
+
+fn bench_retiming(cr: &mut Criterion) {
+    let c = gen::ring(64, 16);
+    let mut group = cr.benchmark_group("retiming");
+    group.bench_function("min_period_ring64", |b| {
+        b.iter(|| min_period_retiming(black_box(&c)))
+    });
+    group.bench_function("pipeline_ring64", |b| {
+        b.iter(|| retime_with_pipelining(black_box(&c)))
+    });
+    let fsm = gen::fsm(gen::FsmConfig {
+        state_bits: 4,
+        inputs: 4,
+        outputs: 3,
+        depth: 6,
+        seed: 77,
+    });
+    let period = min_period_retiming(&fsm).period;
+    group.bench_function("wd_matrices_fsm", |b| {
+        b.iter(|| turbosyn_retime::wd::WdMatrices::of(black_box(&fsm)))
+    });
+    group.bench_function("min_registers_fsm", |b| {
+        b.iter(|| {
+            turbosyn_retime::min_register_retiming(black_box(&fsm), period).expect("feasible")
+        })
+    });
+    group.finish();
+}
+
+fn bench_decomposition(cr: &mut Criterion) {
+    // A 12-input function with a decomposable 5-input bound set.
+    let mut group = cr.benchmark_group("bdd_decompose");
+    group.bench_function("mu_and_extract_12in", |b| {
+        b.iter(|| {
+            let mut m = Manager::new();
+            let mut side = m.one();
+            for v in 0..5 {
+                let x = m.var(v);
+                side = m.and(side, x);
+            }
+            let mut rest = m.zero();
+            for v in 5..12 {
+                let x = m.var(v);
+                rest = m.xor(rest, x);
+            }
+            let f = m.xor(side, rest);
+            let bound = [0u32, 1, 2, 3, 4];
+            let mu = column_multiplicity(&mut m, f, &bound);
+            assert_eq!(mu, 2);
+            decompose(&mut m, f, &bound, 1, 20).expect("decomposes")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_labels,
+    bench_mdr,
+    bench_retiming,
+    bench_decomposition
+);
+criterion_main!(benches);

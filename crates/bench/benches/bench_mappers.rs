@@ -1,0 +1,37 @@
+//! Criterion benchmarks of the three mappers on representative suite
+//! circuits (one small and one mid FSM row, one ISCAS row) — the timing
+//! backbone of Table 1's CPU columns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use turbosyn::{flowsyn_s, turbomap, turbosyn, MapOptions};
+use turbosyn_netlist::gen;
+
+fn bench_mappers(cr: &mut Criterion) {
+    let suite = gen::suite();
+    let pick = ["bbara", "cse", "s420"];
+    let mut group = cr.benchmark_group("mappers");
+    group.sample_size(10);
+    for b in suite.iter().filter(|b| pick.contains(&b.name)) {
+        let opts = MapOptions::default();
+        group.bench_with_input(
+            BenchmarkId::new("flowsyn_s", b.name),
+            &b.circuit,
+            |ben, c| ben.iter(|| flowsyn_s(black_box(c), &opts).expect("maps")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("turbomap", b.name),
+            &b.circuit,
+            |ben, c| ben.iter(|| turbomap(black_box(c), &opts).expect("maps")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("turbosyn", b.name),
+            &b.circuit,
+            |ben, c| ben.iter(|| turbosyn(black_box(c), &opts).expect("maps")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mappers);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Reduced PLD-vs-n² agreement check on mid-size suite rows (TurboSYN
+//! included); the full-suite version is `tests/suite_agreement.rs`.
+use turbosyn::{turbomap, turbosyn, MapOptions, StopRule};
+use turbosyn_netlist::gen;
+
+fn main() {
+    let pld = MapOptions { stop: StopRule::Pld, ..MapOptions::default() };
+    let n2 = MapOptions { stop: StopRule::NSquared, ..MapOptions::default() };
+    for b in gen::suite() {
+        if !["bbara", "bbsse", "cse", "kirkman", "keyb", "styr"].contains(&b.name) {
+            continue;
+        }
+        let tm_p = turbomap(&b.circuit, &pld).expect("maps");
+        let tm_n = turbomap(&b.circuit, &n2).expect("maps");
+        assert_eq!(tm_p.phi, tm_n.phi, "{}: TurboMap disagrees", b.name);
+        let ts_p = turbosyn(&b.circuit, &pld).expect("maps");
+        let ts_n = turbosyn(&b.circuit, &n2).expect("maps");
+        assert_eq!(ts_p.phi, ts_n.phi, "{}: TurboSYN disagrees", b.name);
+        println!("{}: TM {} TS {} (both rules agree)", b.name, tm_p.phi, ts_p.phi);
+    }
+    println!("REDUCED_AGREEMENT_OK");
+}

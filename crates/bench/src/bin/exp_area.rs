@@ -1,0 +1,64 @@
+//! Experiment `area`: Section 5's area remark — TurboSYN loses LUT count
+//! to TurboMap and FlowSYN-s because single-output decomposition spends
+//! extra encoder LUTs to break critical loops. Also reports the effect of
+//! the packing pass (the mpack/flow-pack stand-in).
+//!
+//! Run: `cargo run --release -p turbosyn-bench --bin exp_area`
+
+use turbosyn::{flowsyn_s, turbomap, turbosyn, MapOptions};
+use turbosyn_bench::{geomean, row, sep};
+use turbosyn_netlist::gen;
+
+fn main() {
+    println!("# Area — LUT and register counts, K=5 (pack / label-relaxation ablations)\n");
+    println!(
+        "{}",
+        row(&[
+            "circuit".into(),
+            "FS-s LUT".into(),
+            "TM LUT".into(),
+            "TS LUT".into(),
+            "TS (no pack)".into(),
+            "TS (no relax)".into(),
+            "TS FF".into(),
+        ])
+    );
+    println!("{}", sep(7));
+
+    let packed = MapOptions::default();
+    let unpacked = MapOptions {
+        pack: false,
+        ..MapOptions::default()
+    };
+    let unrelaxed = MapOptions {
+        relax: false,
+        ..MapOptions::default()
+    };
+    let mut ts_over_tm = Vec::new();
+    for bench in gen::suite() {
+        let c = &bench.circuit;
+        let fs = flowsyn_s(c, &packed).expect("FlowSYN-s maps");
+        let tm = turbomap(c, &packed).expect("TurboMap maps");
+        let ts = turbosyn(c, &packed).expect("TurboSYN maps");
+        let ts_np = turbosyn(c, &unpacked).expect("TurboSYN maps unpacked");
+        let ts_nr = turbosyn(c, &unrelaxed).expect("TurboSYN maps unrelaxed");
+        println!(
+            "{}",
+            row(&[
+                bench.name.to_string(),
+                fs.lut_count.to_string(),
+                tm.lut_count.to_string(),
+                ts.lut_count.to_string(),
+                ts_np.lut_count.to_string(),
+                ts_nr.lut_count.to_string(),
+                ts.register_count.to_string(),
+            ])
+        );
+        ts_over_tm.push(ts.lut_count as f64 / tm.lut_count.max(1) as f64);
+    }
+    println!(
+        "\nTurboSYN / TurboMap LUT ratio (geomean): {:.2}x",
+        geomean(&ts_over_tm)
+    );
+    println!("paper: TurboSYN trades LUT area for the clock-period wins");
+}

@@ -1,0 +1,45 @@
+//! Experiment `k`: sensitivity of the minimum clock period to the LUT
+//! input count K (the paper fixes K = 5, typical of mid-90s devices).
+//! Feasibility is monotone in K — more covering freedom can only help —
+//! and the gap between TurboMap and TurboSYN narrows as K grows (wider
+//! cuts fit without resynthesis).
+//!
+//! Run: `cargo run --release -p turbosyn-bench --bin exp_k`
+
+use turbosyn::{turbomap, turbosyn, MapOptions};
+use turbosyn_bench::{row, sep};
+use turbosyn_netlist::gen;
+
+fn main() {
+    let ks = [4usize, 5, 6];
+    println!("# K sensitivity — Φ for TurboMap / TurboSYN at K = 4, 5, 6\n");
+    let mut header = vec!["circuit".to_string()];
+    for k in ks {
+        header.push(format!("TM K={k}"));
+        header.push(format!("TS K={k}"));
+    }
+    println!("{}", row(&header));
+    println!("{}", sep(header.len()));
+
+    for bench in gen::suite() {
+        if !["bbara", "bbsse", "cse", "kirkman", "pma", "styr"].contains(&bench.name) {
+            continue;
+        }
+        let mut cells = vec![bench.name.to_string()];
+        let mut last_tm = i64::MAX;
+        let mut last_ts = i64::MAX;
+        for k in ks {
+            let opts = MapOptions::with_k(k);
+            let tm = turbomap(&bench.circuit, &opts).expect("maps");
+            let ts = turbosyn(&bench.circuit, &opts).expect("maps");
+            assert!(tm.phi <= last_tm, "TurboMap must be monotone in K");
+            assert!(ts.phi <= last_ts, "TurboSYN must be monotone in K");
+            last_tm = tm.phi;
+            last_ts = ts.phi;
+            cells.push(tm.phi.to_string());
+            cells.push(ts.phi.to_string());
+        }
+        println!("{}", row(&cells));
+    }
+    println!("\n(the paper's experiments fix K = 5)");
+}

@@ -1,0 +1,63 @@
+//! Experiment `table1`: the paper's Table 1 — minimum clock period (MDR
+//! ratio Φ) and CPU time for FlowSYN-s, TurboMap and TurboSYN on the
+//! 12 FSM-class + 4 ISCAS-class benchmarks, K = 5.
+//!
+//! Paper headline: TurboSYN reduces the clock period by 1.72x vs
+//! FlowSYN-s and 1.96x vs TurboMap on its benchmark set.
+//!
+//! Run: `cargo run --release -p turbosyn-bench --bin exp_table1`
+
+use turbosyn::{flowsyn_s, turbomap, turbosyn, MapOptions};
+use turbosyn_bench::{geomean, ms, row, sep};
+use turbosyn_netlist::gen;
+
+fn main() {
+    let opts = MapOptions::default(); // K = 5 as in the paper
+    println!("# Table 1 — clock period (Φ = min MDR ratio) and CPU, K=5\n");
+    println!(
+        "{}",
+        row(&[
+            "circuit".into(),
+            "GATE".into(),
+            "FF".into(),
+            "FS-s Φ".into(),
+            "FS-s CPU(ms)".into(),
+            "TM Φ".into(),
+            "TM CPU(ms)".into(),
+            "TS Φ".into(),
+            "TS CPU(ms)".into(),
+        ])
+    );
+    println!("{}", sep(9));
+
+    let mut fs_ratio = Vec::new();
+    let mut tm_ratio = Vec::new();
+    for bench in gen::suite() {
+        let c = &bench.circuit;
+        let fs = flowsyn_s(c, &opts).expect("FlowSYN-s maps");
+        let tm = turbomap(c, &opts).expect("TurboMap maps");
+        let ts = turbosyn(c, &opts).expect("TurboSYN maps");
+        println!(
+            "{}",
+            row(&[
+                bench.name.to_string(),
+                c.gate_count().to_string(),
+                c.register_count_shared().to_string(),
+                fs.phi.to_string(),
+                ms(fs.elapsed),
+                tm.phi.to_string(),
+                ms(tm.elapsed),
+                ts.phi.to_string(),
+                ms(ts.elapsed),
+            ])
+        );
+        fs_ratio.push(fs.phi as f64 / ts.phi as f64);
+        tm_ratio.push(tm.phi as f64 / ts.phi as f64);
+    }
+    println!(
+        "\nclock-period reduction (geomean): TurboSYN vs FlowSYN-s = {:.2}x, vs TurboMap = {:.2}x",
+        geomean(&fs_ratio),
+        geomean(&tm_ratio)
+    );
+    println!("paper: 1.72x and 1.96x respectively");
+}

@@ -1,0 +1,47 @@
+//! Shared infrastructure for the experiment binaries that regenerate the
+//! paper's tables and figures (see DESIGN.md for the per-experiment
+//! index, and EXPERIMENTS.md for recorded results).
+
+use std::time::Duration;
+
+/// Geometric mean of a slice of ratios.
+pub fn geomean(ratios: &[f64]) -> f64 {
+    if ratios.is_empty() {
+        return f64::NAN;
+    }
+    (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp()
+}
+
+/// Milliseconds with two decimals, for compact CPU columns.
+pub fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+/// Prints a markdown-style table row.
+pub fn row(cells: &[String]) -> String {
+    format!("| {} |", cells.join(" | "))
+}
+
+/// Prints a markdown separator for `n` columns.
+pub fn sep(n: usize) -> String {
+    format!("|{}", "---|".repeat(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!(geomean(&[]).is_nan());
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(ms(Duration::from_millis(1500)), "1500.00");
+        assert_eq!(row(&["a".into(), "b".into()]), "| a | b |");
+        assert_eq!(sep(2), "|---|---|");
+    }
+}

@@ -1,0 +1,344 @@
+//! Area reduction passes on mapped LUT networks.
+//!
+//! The paper applies label relaxation, low-cost K-cut computation, and
+//! mpack/flow-pack to cut LUT count after the performance-driven mapping.
+//! In this reproduction the low-cost-cut part is inherent (mapping
+//! generation realizes min-cuts, which minimizes distinct LUT inputs) and
+//! label relaxation corresponds to preferring a plain K-cut over a
+//! resynthesis at the converged label (also done in mapping generation);
+//! this module adds the packing side:
+//!
+//! * [`sweep`] — remove LUTs with no path to a primary output.
+//! * [`pack`] — flow-pack-style merging: a LUT feeding exactly one other
+//!   LUT over a register-free wire is collapsed into its consumer when
+//!   the combined support stays within K. Collapsing never adds delay or
+//!   registers, so the clock period and MDR ratio can only improve.
+
+use std::collections::HashMap;
+use turbosyn_netlist::tt::TruthTable;
+use turbosyn_netlist::{Circuit, Fanin, NodeId, NodeKind};
+
+/// Removes gates that cannot reach any primary output. Returns the number
+/// of gates removed.
+pub fn sweep(c: &mut Circuit) -> usize {
+    // Reverse reachability from POs.
+    let mut live = vec![false; c.node_count()];
+    let mut stack: Vec<usize> = c.outputs().iter().map(|o| o.index()).collect();
+    for &o in c.outputs() {
+        live[o.index()] = true;
+    }
+    while let Some(v) = stack.pop() {
+        for f in &c.node(NodeId::from_index(v)).fanins {
+            if !live[f.source.index()] {
+                live[f.source.index()] = true;
+                stack.push(f.source.index());
+            }
+        }
+    }
+    let dead = c
+        .node_ids()
+        .filter(|id| !live[id.index()] && matches!(c.node(*id).kind, NodeKind::Gate(_)))
+        .count();
+    if dead == 0 {
+        return 0;
+    }
+    // Rebuild without dead gates.
+    let mut out = Circuit::new(c.name().to_string());
+    let mut map: HashMap<usize, NodeId> = HashMap::new();
+    for id in c.node_ids() {
+        if !live[id.index()] {
+            continue;
+        }
+        let node = c.node(id);
+        match &node.kind {
+            NodeKind::Input => {
+                map.insert(id.index(), out.add_input(node.name.clone()));
+            }
+            NodeKind::Gate(tt) => {
+                let placeholder = vec![Fanin::wire(NodeId::from_index(0)); node.fanins.len()];
+                map.insert(
+                    id.index(),
+                    out.add_gate(node.name.clone(), tt.clone(), placeholder),
+                );
+            }
+            NodeKind::Output => {}
+        }
+    }
+    // PIs must all survive even if dead (interface stability).
+    for &pi in c.inputs() {
+        map.entry(pi.index())
+            .or_insert_with(|| out.add_input(c.node(pi).name.clone()));
+    }
+    for id in c.node_ids() {
+        if !live[id.index()] || !matches!(c.node(id).kind, NodeKind::Gate(_)) {
+            continue;
+        }
+        let new_id = map[&id.index()];
+        for (slot, f) in c.node(id).fanins.iter().enumerate() {
+            out.set_fanin(
+                new_id,
+                slot,
+                Fanin::registered(map[&f.source.index()], f.weight),
+            );
+        }
+    }
+    for &po in c.outputs() {
+        let f = c.node(po).fanins[0];
+        out.add_output(
+            c.node(po).name.clone(),
+            Fanin::registered(map[&f.source.index()], f.weight),
+        );
+    }
+    let _ = std::mem::replace(c, out);
+    dead
+}
+
+/// Collapses single-fanout LUTs into their consumers when the merged
+/// support fits in `k` inputs. Iterates to a fixpoint; returns the number
+/// of LUTs eliminated.
+pub fn pack(c: &mut Circuit, k: usize) -> usize {
+    let mut total = 0usize;
+    loop {
+        let merged = pack_once(c, k);
+        if merged == 0 {
+            return total;
+        }
+        total += merged;
+    }
+}
+
+fn pack_once(c: &mut Circuit, k: usize) -> usize {
+    let fanouts = c.fanouts();
+    let gate_ids: Vec<NodeId> = c.gates().collect();
+    // Find a (producer, consumer) pair: producer is a gate with exactly
+    // one fanout, to a gate, over a weight-0 edge; merged support <= k.
+    for id in gate_ids {
+        let fo = &fanouts[id.index()];
+        if fo.len() != 1 {
+            continue;
+        }
+        let (consumer, slot) = fo[0];
+        if consumer == id {
+            continue; // self-loop
+        }
+        let NodeKind::Gate(prod_tt) = &c.node(id).kind else {
+            continue;
+        };
+        let NodeKind::Gate(cons_tt) = &c.node(consumer).kind else {
+            continue;
+        };
+        let edge = c.node(consumer).fanins[slot];
+        if edge.weight != 0 {
+            continue;
+        }
+        // Merged fanin list: consumer's fanins (minus the producer slot)
+        // plus the producer's fanins, deduplicated by (source, weight).
+        let prod_fanins = c.node(id).fanins.clone();
+        let cons_fanins = c.node(consumer).fanins.clone();
+        let mut merged: Vec<Fanin> = Vec::new();
+        let index_of = |f: Fanin, merged: &mut Vec<Fanin>| -> u8 {
+            if let Some(p) = merged.iter().position(|&m| m == f) {
+                p as u8
+            } else {
+                merged.push(f);
+                (merged.len() - 1) as u8
+            }
+        };
+        let mut cons_map: Vec<Option<u8>> = Vec::new(); // consumer input -> merged input
+        for (i, &f) in cons_fanins.iter().enumerate() {
+            if i == slot {
+                cons_map.push(None);
+            } else {
+                cons_map.push(Some(index_of(f, &mut merged)));
+            }
+        }
+        let prod_map: Vec<u8> = prod_fanins
+            .iter()
+            .map(|&f| index_of(f, &mut merged))
+            .collect();
+        if merged.len() > k {
+            continue;
+        }
+        // Merged truth table over `merged` inputs.
+        let m = merged.len() as u8;
+        let tt = TruthTable::from_fn(m, |i| {
+            let mut p_idx = 0u32;
+            for (pi, &mi) in prod_map.iter().enumerate() {
+                p_idx |= ((i >> mi) & 1) << pi;
+            }
+            let p_val = prod_tt.eval(p_idx);
+            let mut c_idx = 0u32;
+            for (ci, &mm) in cons_map.iter().enumerate() {
+                match mm {
+                    Some(mi) => c_idx |= ((i >> mi) & 1) << ci,
+                    None => c_idx |= u32::from(p_val) << ci,
+                }
+            }
+            cons_tt.eval(c_idx)
+        });
+        // Rebuild the circuit with the producer gone and the consumer
+        // replaced.
+        let mut out = Circuit::new(c.name().to_string());
+        let mut map: HashMap<usize, NodeId> = HashMap::new();
+        for nid in c.node_ids() {
+            if nid == id {
+                continue;
+            }
+            let node = c.node(nid);
+            match &node.kind {
+                NodeKind::Input => {
+                    map.insert(nid.index(), out.add_input(node.name.clone()));
+                }
+                NodeKind::Gate(g_tt) => {
+                    let (use_tt, nfan) = if nid == consumer {
+                        (tt.clone(), merged.len())
+                    } else {
+                        (g_tt.clone(), node.fanins.len())
+                    };
+                    let placeholder = vec![Fanin::wire(NodeId::from_index(0)); nfan];
+                    map.insert(
+                        nid.index(),
+                        out.add_gate(node.name.clone(), use_tt, placeholder),
+                    );
+                }
+                NodeKind::Output => {}
+            }
+        }
+        for nid in c.node_ids() {
+            if nid == id || !matches!(c.node(nid).kind, NodeKind::Gate(_)) {
+                continue;
+            }
+            let new_id = map[&nid.index()];
+            let fanins: Vec<Fanin> = if nid == consumer {
+                merged.clone()
+            } else {
+                c.node(nid).fanins.clone()
+            };
+            for (s, f) in fanins.iter().enumerate() {
+                out.set_fanin(
+                    new_id,
+                    s,
+                    Fanin::registered(map[&f.source.index()], f.weight),
+                );
+            }
+        }
+        for &po in c.outputs() {
+            let f = c.node(po).fanins[0];
+            out.add_output(
+                c.node(po).name.clone(),
+                Fanin::registered(map[&f.source.index()], f.weight),
+            );
+        }
+        let _ = std::mem::replace(c, out);
+        return 1;
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbosyn_netlist::equiv::sequential_equiv_by_simulation;
+
+    /// inv -> inv chains pack into buffers/NOPs.
+    #[test]
+    fn packs_inverter_chain() {
+        let mut c = Circuit::new("chain");
+        let a = c.add_input("a");
+        let g1 = c.add_gate("g1", TruthTable::inv(), vec![Fanin::wire(a)]);
+        let g2 = c.add_gate("g2", TruthTable::inv(), vec![Fanin::wire(g1)]);
+        let g3 = c.add_gate("g3", TruthTable::inv(), vec![Fanin::wire(g2)]);
+        c.add_output("o", Fanin::wire(g3));
+        let before = c.clone();
+        let removed = pack(&mut c, 4);
+        assert_eq!(removed, 2, "three inverters collapse into one LUT");
+        assert!(c.validate().is_ok());
+        sequential_equiv_by_simulation(&before, &c, 32, 0, 0, 1).expect("equivalent");
+    }
+
+    #[test]
+    fn pack_respects_k() {
+        // Two 2-input gates sharing no inputs: merged support 3 > k=2.
+        let mut c = Circuit::new("wide");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let d = c.add_input("d");
+        let g1 = c.add_gate(
+            "g1",
+            TruthTable::and2(),
+            vec![Fanin::wire(a), Fanin::wire(b)],
+        );
+        let g2 = c.add_gate(
+            "g2",
+            TruthTable::or2(),
+            vec![Fanin::wire(g1), Fanin::wire(d)],
+        );
+        c.add_output("o", Fanin::wire(g2));
+        let removed = pack(&mut c, 2);
+        assert_eq!(removed, 0);
+        let mut c2 = c.clone();
+        assert_eq!(pack(&mut c2, 3), 1);
+        assert!(c2.validate().is_ok());
+    }
+
+    #[test]
+    fn pack_does_not_cross_registers() {
+        let mut c = Circuit::new("regs");
+        let a = c.add_input("a");
+        let g1 = c.add_gate("g1", TruthTable::inv(), vec![Fanin::wire(a)]);
+        let g2 = c.add_gate("g2", TruthTable::inv(), vec![Fanin::registered(g1, 1)]);
+        c.add_output("o", Fanin::wire(g2));
+        assert_eq!(pack(&mut c, 4), 0);
+    }
+
+    #[test]
+    fn pack_keeps_shared_inputs_once() {
+        // g1 = a&b, g2 = g1|a: merged support {a, b} = 2.
+        let mut c = Circuit::new("share");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g1 = c.add_gate(
+            "g1",
+            TruthTable::and2(),
+            vec![Fanin::wire(a), Fanin::wire(b)],
+        );
+        let g2 = c.add_gate(
+            "g2",
+            TruthTable::or2(),
+            vec![Fanin::wire(g1), Fanin::wire(a)],
+        );
+        c.add_output("o", Fanin::wire(g2));
+        let before = c.clone();
+        assert_eq!(pack(&mut c, 2), 1);
+        assert!(c.validate().is_ok());
+        sequential_equiv_by_simulation(&before, &c, 32, 0, 0, 1).expect("equivalent");
+    }
+
+    #[test]
+    fn sweep_removes_dead_logic() {
+        let mut c = Circuit::new("dead");
+        let a = c.add_input("a");
+        let g1 = c.add_gate("g1", TruthTable::inv(), vec![Fanin::wire(a)]);
+        let _dead = c.add_gate("dead", TruthTable::inv(), vec![Fanin::wire(a)]);
+        c.add_output("o", Fanin::wire(g1));
+        assert_eq!(sweep(&mut c), 1);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.gate_count(), 1);
+        assert_eq!(c.inputs().len(), 1);
+    }
+
+    #[test]
+    fn sweep_keeps_live_loops() {
+        let mut c = Circuit::new("loop");
+        let a = c.add_input("a");
+        let g = c.add_gate(
+            "g",
+            TruthTable::xor2(),
+            vec![Fanin::wire(a), Fanin::wire(a)],
+        );
+        c.set_fanin(g, 1, Fanin::registered(g, 1));
+        c.add_output("o", Fanin::wire(g));
+        assert_eq!(sweep(&mut c), 0);
+        assert_eq!(c.gate_count(), 1);
+    }
+}

@@ -1,0 +1,257 @@
+//! Command-line front end: BLIF in, mapped BLIF out.
+//!
+//! ```text
+//! turbosyn-cli [OPTIONS] <input.blif>
+//!
+//!   -o, --output <file>     write the mapped netlist (default: stdout)
+//!   -k <K>                  LUT input count (default 5)
+//!   -a, --algorithm <name>  turbosyn | turbomap | flowsyn-s (default turbosyn)
+//!       --max-wires <1|2>   decomposition wires (default 1)
+//!       --min-registers     run exact register minimization
+//!       --no-pack           skip the LUT packing pass
+//!       --optimize          run constant propagation + strash first
+//!       --stats             print statistics to stderr
+//!   -h, --help              this text
+//! ```
+
+use std::process::ExitCode;
+use turbosyn::{flowsyn_s, turbomap, turbosyn, MapOptions, MapReport};
+use turbosyn_netlist::{blif, opt, Circuit};
+
+#[derive(Debug)]
+struct Args {
+    input: String,
+    output: Option<String>,
+    k: usize,
+    algorithm: String,
+    max_wires: usize,
+    min_registers: bool,
+    pack: bool,
+    optimize: bool,
+    stats: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: turbosyn-cli [-o out.blif] [-k K] [-a turbosyn|turbomap|flowsyn-s] \
+     [--max-wires 1|2] [--min-registers] [--no-pack] [--optimize] [--stats] input.blif"
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        input: String::new(),
+        output: None,
+        k: 5,
+        algorithm: "turbosyn".into(),
+        max_wires: 1,
+        min_registers: false,
+        pack: true,
+        optimize: false,
+        stats: false,
+    };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-h" | "--help" => return Err(usage().into()),
+            "-o" | "--output" => {
+                args.output = Some(it.next().ok_or("missing value for -o")?.clone());
+            }
+            "-k" => {
+                let v = it.next().ok_or("missing value for -k")?;
+                args.k = v.parse().map_err(|_| format!("bad K: {v}"))?;
+                if !(2..=8).contains(&args.k) {
+                    return Err("K must be in 2..=8".into());
+                }
+            }
+            "-a" | "--algorithm" => {
+                let v = it.next().ok_or("missing value for -a")?.clone();
+                if !["turbosyn", "turbomap", "flowsyn-s"].contains(&v.as_str()) {
+                    return Err(format!("unknown algorithm {v}"));
+                }
+                args.algorithm = v;
+            }
+            "--max-wires" => {
+                let v = it.next().ok_or("missing value for --max-wires")?;
+                args.max_wires = v.parse().map_err(|_| format!("bad wire count: {v}"))?;
+                if !(1..=2).contains(&args.max_wires) {
+                    return Err("--max-wires must be 1 or 2".into());
+                }
+            }
+            "--min-registers" => args.min_registers = true,
+            "--no-pack" => args.pack = false,
+            "--optimize" => args.optimize = true,
+            "--stats" => args.stats = true,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other}"));
+            }
+            other => {
+                if !args.input.is_empty() {
+                    return Err("more than one input file".into());
+                }
+                args.input = other.to_string();
+            }
+        }
+    }
+    if args.input.is_empty() {
+        return Err(usage().into());
+    }
+    Ok(args)
+}
+
+fn run(args: &Args, circuit: &Circuit) -> Result<MapReport, String> {
+    let opts = MapOptions {
+        k: args.k,
+        max_wires: args.max_wires,
+        minimize_registers: args.min_registers,
+        pack: args.pack,
+        ..MapOptions::default()
+    };
+    let report = match args.algorithm.as_str() {
+        "turbosyn" => turbosyn(circuit, &opts),
+        "turbomap" => turbomap(circuit, &opts),
+        "flowsyn-s" => flowsyn_s(circuit, &opts),
+        _ => unreachable!("validated in parse_args"),
+    };
+    report.map_err(|e| format!("mapping failed verification: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Result<Args, String> {
+        parse_args(&v.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn defaults() {
+        let a = args(&["design.blif"]).expect("parses");
+        assert_eq!(a.k, 5);
+        assert_eq!(a.algorithm, "turbosyn");
+        assert!(a.pack && !a.min_registers && !a.optimize && !a.stats);
+        assert_eq!(a.output, None);
+    }
+
+    #[test]
+    fn full_flags() {
+        let a = args(&[
+            "-o",
+            "out.blif",
+            "-k",
+            "4",
+            "-a",
+            "turbomap",
+            "--max-wires",
+            "2",
+            "--min-registers",
+            "--no-pack",
+            "--optimize",
+            "--stats",
+            "in.blif",
+        ])
+        .expect("parses");
+        assert_eq!(a.output.as_deref(), Some("out.blif"));
+        assert_eq!(a.k, 4);
+        assert_eq!(a.algorithm, "turbomap");
+        assert_eq!(a.max_wires, 2);
+        assert!(a.min_registers && !a.pack && a.optimize && a.stats);
+        assert_eq!(a.input, "in.blif");
+    }
+
+    #[test]
+    fn rejections() {
+        assert!(args(&[]).is_err(), "missing input");
+        assert!(args(&["-k", "1", "x.blif"]).is_err(), "K too small");
+        assert!(
+            args(&["-a", "magic", "x.blif"]).is_err(),
+            "unknown algorithm"
+        );
+        assert!(
+            args(&["--max-wires", "3", "x.blif"]).is_err(),
+            "too many wires"
+        );
+        assert!(args(&["--bogus", "x.blif"]).is_err(), "unknown flag");
+        assert!(args(&["a.blif", "b.blif"]).is_err(), "two inputs");
+        assert!(args(&["-o"]).is_err(), "missing value");
+    }
+
+    #[test]
+    fn help_is_an_err_with_usage() {
+        let e = args(&["--help"]).unwrap_err();
+        assert!(e.contains("usage:"));
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) if argv.iter().any(|a| a == "-h" || a == "--help") => {
+            println!("{msg}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = match std::fs::read_to_string(&args.input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", args.input);
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut circuit = match blif::parse(&text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("BLIF parse error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.stats {
+        eprintln!(
+            "input: {}",
+            turbosyn_netlist::stats::CircuitStats::of(&circuit)
+        );
+    }
+    if args.optimize {
+        let (clean, removed) = opt::optimize(&circuit);
+        if args.stats {
+            eprintln!("optimize: {removed} gates folded/merged");
+        }
+        circuit = clean;
+    }
+    let report = match run(&args, &circuit) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.stats {
+        eprintln!(
+            "{}: min MDR ratio {} | {} LUTs, {} registers | clock period {} | {:?}",
+            report.algorithm,
+            report.phi,
+            report.lut_count,
+            report.register_count,
+            report.clock_period,
+            report.elapsed
+        );
+        eprintln!(
+            "label work: {} sweeps, {} cut tests, {} resynthesis successes",
+            report.stats.sweeps, report.stats.cut_tests, report.stats.resyn_successes
+        );
+    }
+    let out_text = blif::write(&report.final_circuit);
+    match &args.output {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, out_text) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        None => print!("{out_text}"),
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,155 @@
+//! The full synthesis flow as one call: cleanup → mapping → register
+//! minimization, RASP-style (the paper's TurboSYN was shipped inside the
+//! RASP logic-synthesis system).
+
+use crate::mappers::{flowsyn_s, turbomap, turbosyn, MapOptions, MapReport};
+use crate::verify::VerifyError;
+use turbosyn_netlist::opt::optimize;
+use turbosyn_netlist::stats::CircuitStats;
+use turbosyn_netlist::Circuit;
+
+/// Which mapper drives the flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Algorithm {
+    /// The paper's algorithm (default).
+    #[default]
+    TurboSyn,
+    /// The no-resynthesis baseline.
+    TurboMap,
+    /// The cut-at-registers baseline.
+    FlowSynS,
+}
+
+/// Options for [`synthesize`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlowOptions {
+    /// Mapper selection.
+    pub algorithm: Algorithm,
+    /// Mapper tunables (K, PLD, Cmax, packing, register minimization, …).
+    pub map: MapOptions,
+    /// Run constant propagation + structural hashing before mapping.
+    pub cleanup: bool,
+}
+
+/// Everything a flow run produced.
+#[derive(Debug, Clone)]
+pub struct FlowReport {
+    /// Statistics of the input circuit.
+    pub input_stats: CircuitStats,
+    /// Gates folded/merged by cleanup (0 when cleanup was off).
+    pub cleaned: usize,
+    /// The mapping report (verified mapped circuit, final retimed +
+    /// pipelined circuit, Φ, clock period, counters).
+    pub map: MapReport,
+}
+
+/// Runs the full flow on `circuit`.
+///
+/// # Errors
+///
+/// A [`VerifyError`] if the mapper's self-verification fails (an internal
+/// bug, never expected on valid inputs).
+///
+/// # Panics
+///
+/// Panics if the input circuit fails validation.
+///
+/// # Example
+///
+/// ```
+/// use turbosyn::flow::{synthesize, FlowOptions};
+/// use turbosyn_netlist::gen;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let report = synthesize(&gen::figure1(), &FlowOptions::default())?;
+/// assert_eq!(report.map.phi, 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn synthesize(circuit: &Circuit, opts: &FlowOptions) -> Result<FlowReport, VerifyError> {
+    circuit.validate().expect("input circuit must be valid");
+    let input_stats = CircuitStats::of(circuit);
+    let (clean, cleaned) = if opts.cleanup {
+        optimize(circuit)
+    } else {
+        (circuit.clone(), 0)
+    };
+    let map = match opts.algorithm {
+        Algorithm::TurboSyn => turbosyn(&clean, &opts.map)?,
+        Algorithm::TurboMap => turbomap(&clean, &opts.map)?,
+        Algorithm::FlowSynS => flowsyn_s(&clean, &opts.map)?,
+    };
+    Ok(FlowReport {
+        input_stats,
+        cleaned,
+        map,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbosyn_netlist::gen;
+
+    #[test]
+    fn default_flow_runs() {
+        let r = synthesize(&gen::figure1(), &FlowOptions::default()).expect("flows");
+        assert_eq!(r.map.phi, 1);
+        assert_eq!(r.cleaned, 0);
+        assert_eq!(r.input_stats.gates, 4);
+    }
+
+    #[test]
+    fn cleanup_flow_runs() {
+        let c = gen::fsm(gen::FsmConfig {
+            state_bits: 3,
+            inputs: 3,
+            outputs: 2,
+            depth: 3,
+            seed: 2,
+        });
+        let with = synthesize(
+            &c,
+            &FlowOptions {
+                cleanup: true,
+                ..FlowOptions::default()
+            },
+        )
+        .expect("flows");
+        let without = synthesize(&c, &FlowOptions::default()).expect("flows");
+        assert!(with.map.phi <= without.map.phi);
+    }
+
+    #[test]
+    fn algorithms_select_mappers() {
+        let c = gen::figure1();
+        let ts = synthesize(
+            &c,
+            &FlowOptions {
+                algorithm: Algorithm::TurboSyn,
+                ..Default::default()
+            },
+        )
+        .expect("flows");
+        let tm = synthesize(
+            &c,
+            &FlowOptions {
+                algorithm: Algorithm::TurboMap,
+                ..Default::default()
+            },
+        )
+        .expect("flows");
+        let fs = synthesize(
+            &c,
+            &FlowOptions {
+                algorithm: Algorithm::FlowSynS,
+                ..Default::default()
+            },
+        )
+        .expect("flows");
+        assert_eq!(ts.map.algorithm, "TurboSYN");
+        assert_eq!(tm.map.algorithm, "TurboMap");
+        assert_eq!(fs.map.algorithm, "FlowSYN-s");
+        assert!(ts.map.phi <= tm.map.phi.min(fs.map.phi));
+    }
+}

@@ -1,0 +1,470 @@
+//! Iterative label computation (Sections 3.2–3.4 of the paper).
+//!
+//! For a target MDR ratio φ, each node's **label** is the least root
+//! height over all LUTs that can be rooted at it in any mapping solution
+//! meeting φ. Labels are computed as in TurboMap \[11\]: lower bounds
+//! start at 1 (0 for PIs) and are raised iteratively —
+//!
+//! ```text
+//!   L(v)     = max{ l(u) − φ·w(e) | e(u, v) ∈ G }
+//!   l_new(v) = L(v)      if some K-cut of E_v has height <= L(v)
+//!                        (flow test), or — TurboSYN only — the cut
+//!                        function resynthesizes to root label L(v)
+//!              L(v) + 1  otherwise
+//! ```
+//!
+//! φ is feasible iff the bounds converge; an infeasible φ shows up as a
+//! positive loop whose labels grow forever, detected either by the
+//! paper's predecessor-graph PLD test ([`crate::pld`]) or by the
+//! conservative `n²` sweep bound of SeqMapII (kept for the speed
+//! comparison experiment). SCCs are processed in topological order, as
+//! required by the paper's Theorem 2.
+
+use crate::expand::{ExpandFail, ExpandLimits, Expansion};
+use crate::pld::scc_isolated;
+use turbosyn_graph::scc::condensation;
+use turbosyn_netlist::{Circuit, NodeId, NodeKind};
+
+/// Stopping criterion for infeasible targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopRule {
+    /// The paper's positive-loop detection: predecessor-graph isolation,
+    /// checked after every sweep, with the 6n-per-SCC theorem bound as a
+    /// backstop.
+    Pld,
+    /// SeqMapII's conservative bound: give up after `n²` sweeps of the
+    /// SCC.
+    NSquared,
+}
+
+/// Options for one label computation.
+#[derive(Debug, Clone, Copy)]
+pub struct LabelOptions {
+    /// LUT input count K.
+    pub k: usize,
+    /// Target MDR ratio φ (integer; the binary search probes integers).
+    pub phi: i64,
+    /// Enable sequential functional decomposition (TurboSYN); disabled =
+    /// TurboMap.
+    pub resynthesis: bool,
+    /// Infeasibility stopping rule.
+    pub stop: StopRule,
+    /// Expansion truncation limits.
+    pub expand: ExpandLimits,
+    /// Cut-size cap for resynthesis min-cuts (the paper uses 15).
+    pub cmax: usize,
+    /// Maximum encoding wires per extraction: 1 = the paper's
+    /// single-output decomposition; 2 = the Roth–Karp multi-output
+    /// extension the paper lists as future work.
+    pub max_wires: usize,
+    /// Label relaxation during mapping generation (the paper's first area
+    /// technique): re-realize resynthesized roots as plain cuts at relaxed
+    /// heights where consumer budgets allow.
+    pub relax: bool,
+}
+
+impl LabelOptions {
+    /// TurboMap-style options (no resynthesis) at the given K and φ.
+    pub fn turbomap(k: usize, phi: i64) -> Self {
+        LabelOptions {
+            k,
+            phi,
+            resynthesis: false,
+            stop: StopRule::Pld,
+            expand: ExpandLimits::default(),
+            cmax: 15,
+            max_wires: 1,
+            relax: true,
+        }
+    }
+
+    /// TurboSYN-style options (resynthesis on) at the given K and φ.
+    pub fn turbosyn(k: usize, phi: i64) -> Self {
+        LabelOptions {
+            resynthesis: true,
+            ..LabelOptions::turbomap(k, phi)
+        }
+    }
+}
+
+/// Counters describing one label computation (drives the PLD speedup
+/// experiment).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LabelStats {
+    /// Full sweeps over SCC members.
+    pub sweeps: u64,
+    /// Flow-based K-cut tests performed.
+    pub cut_tests: u64,
+    /// Resynthesis attempts (min-cut + decomposition descents).
+    pub resyn_attempts: u64,
+    /// Resynthesis attempts that achieved the lower label.
+    pub resyn_successes: u64,
+}
+
+/// Result of a label computation.
+#[derive(Debug, Clone)]
+pub enum LabelOutcome {
+    /// φ is feasible: a mapping with MDR ratio `<= φ` exists. Labels are
+    /// the converged per-node values (PIs 0).
+    Feasible {
+        /// Converged node labels.
+        labels: Vec<i64>,
+        /// Work counters.
+        stats: LabelStats,
+    },
+    /// φ is infeasible: some loop cannot meet it in any mapping.
+    Infeasible {
+        /// Work counters (shows how fast infeasibility was detected).
+        stats: LabelStats,
+        /// Size of the SCC where the positive loop was detected.
+        scc_size: usize,
+    },
+}
+
+impl LabelOutcome {
+    /// Work counters of either outcome.
+    pub fn stats(&self) -> LabelStats {
+        match self {
+            LabelOutcome::Feasible { stats, .. } | LabelOutcome::Infeasible { stats, .. } => *stats,
+        }
+    }
+
+    /// True if the target ratio was feasible.
+    pub fn is_feasible(&self) -> bool {
+        matches!(self, LabelOutcome::Feasible { .. })
+    }
+}
+
+/// One label update for node `v` (already knowing `big_l = L(v)`):
+/// returns the new label and whether resynthesis was the enabler.
+/// Exposed crate-wide so mapping generation replays the same decision.
+pub(crate) fn label_candidate(
+    c: &Circuit,
+    v: usize,
+    big_l: i64,
+    labels: &[i64],
+    opts: &LabelOptions,
+    stats: &mut LabelStats,
+) -> i64 {
+    // Flow test: K-cut of height <= L(v)?
+    stats.cut_tests += 1;
+    match Expansion::build(c, v, opts.phi, labels, big_l, opts.expand) {
+        Ok(exp) => {
+            if exp.min_cut(opts.k).is_some() {
+                return big_l;
+            }
+            if opts.resynthesis {
+                stats.resyn_attempts += 1;
+                if resyn_succeeds(c, v, big_l, labels, opts) {
+                    stats.resyn_successes += 1;
+                    return big_l;
+                }
+            }
+            big_l + 1
+        }
+        Err(ExpandFail::PiMustBeInside) => big_l + 1,
+    }
+}
+
+/// The paper's LabelUpdateSYN descent (Figure 3): min-cuts of height
+/// `L(v) − h` for growing `h`, capped at `Cmax` inputs, each tried for
+/// decomposition to root label `L(v)`. Returns the realization so that
+/// mapping generation can replay the exact same decision.
+pub(crate) fn resyn_realization(
+    c: &Circuit,
+    v: usize,
+    big_l: i64,
+    labels: &[i64],
+    opts: &LabelOptions,
+) -> Option<crate::seqdecomp::Realization> {
+    // Consecutive descent heights often yield the same min-cut; skip the
+    // (expensive) decomposition retry when nothing changed.
+    let mut last_cut: Option<Vec<(usize, i64)>> = None;
+    for h in 0..64 {
+        let height = big_l - h;
+        let exp = match Expansion::build(c, v, opts.phi, labels, height, opts.expand) {
+            Ok(exp) => exp,
+            Err(ExpandFail::PiMustBeInside) => return None,
+        };
+        let cut = exp.min_cut(opts.cmax)?; // None: cut-size > Cmax (give up)
+        if cut.len() <= opts.k && exp.cut_height(&cut, opts.phi, labels) <= big_l {
+            // Narrow enough already (the deeper min-cut shrank below K).
+            return Some(crate::seqdecomp::Realization::from_cut(&exp, c, &cut));
+        }
+        let mut key: Vec<(usize, i64)> = cut
+            .iter()
+            .map(|&xi| (exp.nodes[xi].orig, exp.nodes[xi].weight))
+            .collect();
+        key.sort_unstable();
+        if last_cut.as_ref() == Some(&key) {
+            continue; // identical cut function and criticalities: same verdict
+        }
+        last_cut = Some(key);
+        if let Some(r) = crate::seqdecomp::resynthesize_wires(
+            &exp,
+            c,
+            &cut,
+            opts.phi,
+            labels,
+            big_l,
+            opts.k,
+            opts.max_wires,
+        ) {
+            return Some(r);
+        }
+    }
+    None
+}
+
+fn resyn_succeeds(c: &Circuit, v: usize, big_l: i64, labels: &[i64], opts: &LabelOptions) -> bool {
+    resyn_realization(c, v, big_l, labels, opts).is_some()
+}
+
+/// Runs the iterative label computation for target ratio `opts.phi`.
+///
+/// # Panics
+///
+/// Panics if the circuit is invalid or not K-bounded for `opts.k`.
+pub fn compute_labels(c: &Circuit, opts: &LabelOptions) -> LabelOutcome {
+    c.validate().expect("circuit must be valid");
+    assert!(
+        c.is_k_bounded(opts.k),
+        "circuit must be {}-bounded (run kbound::decompose_to_k first)",
+        opts.k
+    );
+    let n = c.node_count();
+    let g = c.to_digraph();
+    let mut labels = vec![0i64; n];
+    let mut is_gate = vec![false; n];
+    let mut is_anchor = vec![false; n];
+    for id in c.node_ids() {
+        match c.node(id).kind {
+            NodeKind::Gate(_) => {
+                labels[id.index()] = 1;
+                is_gate[id.index()] = true;
+            }
+            NodeKind::Input => is_anchor[id.index()] = true,
+            NodeKind::Output => {}
+        }
+    }
+
+    let cond = condensation(&g);
+    let mut stats = LabelStats::default();
+
+    for sc in 0..cond.count() {
+        let members: Vec<usize> = cond.members[sc]
+            .iter()
+            .copied()
+            .filter(|&v| is_gate[v])
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        let cyclic = cond.is_cyclic(&g, sc);
+        let nn = members.len() as u64;
+        // Both stopping rules share the conservative n² backstop; PLD adds
+        // the fast path below.
+        let sweep_cap: u64 = if cyclic { (nn * nn).max(4) } else { 1 };
+        // PLD: predecessor-graph isolation witnesses a positive loop once
+        // it *persists* while labels still change. A single isolated sweep
+        // can be a transient of a converging computation (the support
+        // chains re-anchor on the next sweep), so we require several
+        // consecutive isolated-and-changing sweeps. The window is capped
+        // so detection stays fast on huge SCCs (the paper's 6n bound is a
+        // worst case, not the typical delay); a converging computation
+        // exits through the `!changed` check regardless, and PLD/n²
+        // agreement is validated by a 180-circuit scan plus every suite
+        // row.
+        let isolation_trigger = nn.min(32) + 2;
+        let mut consecutive_isolated = 0u64;
+
+        let mut sweep = 0u64;
+        loop {
+            sweep += 1;
+            stats.sweeps += 1;
+            let mut changed = false;
+            for &v in &members {
+                let big_l = c
+                    .node(NodeId::from_index(v))
+                    .fanins
+                    .iter()
+                    .map(|f| labels[f.source.index()] - opts.phi * i64::from(f.weight))
+                    .max()
+                    .unwrap_or(0);
+                // Fast path: the candidate is at most L+1; if the current
+                // label already exceeds L, nothing can change.
+                if labels[v] > big_l {
+                    continue;
+                }
+                let cand = label_candidate(c, v, big_l, &labels, opts, &mut stats).max(1);
+                if cand > labels[v] {
+                    labels[v] = cand;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break; // converged
+            }
+            if !cyclic {
+                // One more pass would be a no-op: members of an acyclic
+                // SCC (a single node without self-loop) depend only on
+                // upstream, already-converged labels.
+                break;
+            }
+            if opts.stop == StopRule::Pld {
+                if scc_isolated(&g, &labels, opts.phi, &is_anchor, &members) {
+                    consecutive_isolated += 1;
+                    if consecutive_isolated >= isolation_trigger {
+                        return LabelOutcome::Infeasible {
+                            stats,
+                            scc_size: members.len(),
+                        };
+                    }
+                } else {
+                    consecutive_isolated = 0;
+                }
+            }
+            if sweep >= sweep_cap {
+                return LabelOutcome::Infeasible {
+                    stats,
+                    scc_size: members.len(),
+                };
+            }
+        }
+    }
+    LabelOutcome::Feasible { labels, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbosyn_netlist::gen;
+
+    #[test]
+    fn acyclic_pipeline_feasible_at_one() {
+        let c = gen::pipeline(3, 4, 1);
+        let out = compute_labels(&c, &LabelOptions::turbomap(5, 1));
+        assert!(out.is_feasible());
+    }
+
+    #[test]
+    fn ring_feasibility_matches_mdr() {
+        // ring(6,2): gate-level MDR 3; with K=5 covering up to ... the
+        // minimum mapped ratio is ceil over achievable coverings.
+        let c = gen::ring(6, 2);
+        // phi=3 must be feasible (identity mapping works).
+        assert!(compute_labels(&c, &LabelOptions::turbomap(5, 3)).is_feasible());
+        // phi large enough is always feasible.
+        assert!(compute_labels(&c, &LabelOptions::turbomap(5, 10)).is_feasible());
+    }
+
+    #[test]
+    fn ring_covering_reduces_ratio() {
+        // ring(4,2) with K=5: two XOR gates cover into one LUT with
+        // inputs {pi, pi, loop} — 2 LUTs over 2 registers: phi=1 feasible.
+        let c = gen::ring(4, 2);
+        let out = compute_labels(&c, &LabelOptions::turbomap(5, 1));
+        assert!(out.is_feasible(), "K=5 covering reaches ratio 1");
+    }
+
+    #[test]
+    fn infeasible_phi_detected_by_pld() {
+        // figure1: TurboMap cannot reach phi=1 (cuts too wide).
+        let c = gen::figure1();
+        let out = compute_labels(&c, &LabelOptions::turbomap(5, 1));
+        assert!(!out.is_feasible());
+    }
+
+    #[test]
+    fn turbosyn_fixes_figure1() {
+        let c = gen::figure1();
+        let out = compute_labels(&c, &LabelOptions::turbosyn(5, 1));
+        assert!(out.is_feasible(), "resynthesis reaches phi=1 on figure 1");
+        if let LabelOutcome::Feasible { stats, .. } = out {
+            assert!(stats.resyn_successes > 0, "resynthesis actually used");
+        }
+        // And TurboMap agrees at phi=2.
+        assert!(compute_labels(&c, &LabelOptions::turbomap(5, 2)).is_feasible());
+    }
+
+    #[test]
+    fn pld_and_nsquared_agree() {
+        for (gates, regs) in [(4usize, 2i64), (6, 2), (5, 1)] {
+            let c = gen::ring(gates, regs as usize);
+            for phi in 1..=4 {
+                let pld = compute_labels(
+                    &c,
+                    &LabelOptions {
+                        stop: StopRule::Pld,
+                        ..LabelOptions::turbomap(4, phi)
+                    },
+                );
+                let n2 = compute_labels(
+                    &c,
+                    &LabelOptions {
+                        stop: StopRule::NSquared,
+                        ..LabelOptions::turbomap(4, phi)
+                    },
+                );
+                assert_eq!(
+                    pld.is_feasible(),
+                    n2.is_feasible(),
+                    "ring({gates},{regs}) phi={phi}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pld_is_faster_on_infeasible() {
+        let c = gen::figure1();
+        let pld = compute_labels(&c, &LabelOptions::turbomap(5, 1));
+        let n2 = compute_labels(
+            &c,
+            &LabelOptions {
+                stop: StopRule::NSquared,
+                ..LabelOptions::turbomap(5, 1)
+            },
+        );
+        assert!(!pld.is_feasible() && !n2.is_feasible());
+        assert!(
+            pld.stats().sweeps < n2.stats().sweeps,
+            "PLD {} sweeps vs n² {}",
+            pld.stats().sweeps,
+            n2.stats().sweeps
+        );
+    }
+
+    #[test]
+    fn fsm_has_finite_min_ratio() {
+        let c = gen::fsm(gen::FsmConfig {
+            state_bits: 3,
+            inputs: 3,
+            outputs: 2,
+            depth: 2,
+            seed: 11,
+        });
+        // Gate-level MDR is an upper bound that must be feasible.
+        let ub = turbosyn_retime::period_lower_bound(&c);
+        let out = compute_labels(&c, &LabelOptions::turbomap(5, ub));
+        assert!(out.is_feasible(), "gate-level bound {ub} must be feasible");
+    }
+
+    #[test]
+    fn monotone_in_phi() {
+        let c = gen::fsm(gen::FsmConfig {
+            state_bits: 3,
+            inputs: 2,
+            outputs: 1,
+            depth: 2,
+            seed: 3,
+        });
+        let mut last = false;
+        for phi in 1..=6 {
+            let f = compute_labels(&c, &LabelOptions::turbomap(4, phi)).is_feasible();
+            assert!(!last || f, "feasibility must be monotone in phi");
+            last = f;
+        }
+        assert!(last, "large phi must be feasible");
+    }
+}

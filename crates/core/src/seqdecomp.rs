@@ -1,0 +1,385 @@
+//! Sequential functional decomposition (the paper's Section 3.3).
+//!
+//! When no K-feasible cut of height `H = L(v)` exists on the expanded
+//! circuit, TurboSYN takes a (possibly wide) min-cut of height `<= H − h`
+//! for growing `h`, forms the **sequential cut function**
+//! `f(u_1^{w_1}, …, u_m^{w_m})` (Figure 2 of the paper), and resynthesizes
+//! it with OBDD-based functional decomposition so that the root LUT sees
+//! at most K inputs while every original input still meets its timing
+//! budget:
+//!
+//! * input `u^w` enters the tree at depth `j` LUT levels ⇒ it contributes
+//!   `l(u) − φ·w + j` to the root label, which must stay `<= H`;
+//! * so inputs are sorted by increasing `l(u) − φ·w` (the paper's order)
+//!   and only the *least critical* ones are buried in extracted
+//!   sub-LUTs.
+//!
+//! Each extraction is an Ashenhurst step (column multiplicity `<= 2`, one
+//! encoding wire), exactly verified by BDD recomposition. The result is a
+//! [`Realization`]: the LUT tree that mapping generation will instantiate.
+
+use crate::expand::{ExpNode, Expansion};
+use turbosyn_bdd::decompose::{decompose, recompose};
+use turbosyn_bdd::{Bdd, Manager};
+use turbosyn_netlist::tt::TruthTable;
+use turbosyn_netlist::Circuit;
+
+/// Where a LUT input comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LutInput {
+    /// The original circuit node `orig`, delayed by `weight` registers.
+    Sequential {
+        /// Original circuit node index.
+        orig: usize,
+        /// Register count on the connection.
+        weight: i64,
+    },
+    /// Output of another LUT of the same realization (wire, 0 registers).
+    Internal(usize),
+}
+
+/// One LUT of a realization.
+#[derive(Debug, Clone)]
+pub struct LutSpec {
+    /// Function over the ordered `inputs`.
+    pub tt: TruthTable,
+    /// Ordered inputs (truth-table input `i` = `inputs[i]`).
+    pub inputs: Vec<LutInput>,
+}
+
+/// How a node's function is realized in the mapped network: one or more
+/// LUTs, the last of which (`luts[root]`) computes the node.
+#[derive(Debug, Clone)]
+pub struct Realization {
+    /// All LUTs; internal references point into this list.
+    pub luts: Vec<LutSpec>,
+    /// Index of the root LUT.
+    pub root: usize,
+}
+
+impl Realization {
+    /// A single-LUT realization straight from a K-feasible cut.
+    pub fn from_cut(exp: &Expansion, c: &Circuit, cut: &[usize]) -> Realization {
+        let tt = exp.cone_tt(c, cut);
+        let inputs = cut
+            .iter()
+            .map(|&xi| {
+                let ExpNode { orig, weight } = exp.nodes[xi];
+                LutInput::Sequential { orig, weight }
+            })
+            .collect();
+        Realization {
+            luts: vec![LutSpec { tt, inputs }],
+            root: 0,
+        }
+    }
+
+    /// Number of LUTs.
+    pub fn lut_count(&self) -> usize {
+        self.luts.len()
+    }
+}
+
+/// Attempts to resynthesize the cut function of `cut` (on `exp`) so that
+/// the root label is at most `height`: returns the LUT tree on success.
+///
+/// `labels`/`phi` give each cut input its criticality
+/// `λ_i = l(u_i) − φ·w_i`; the root LUT needs every (possibly extracted)
+/// input signal to carry label `<= height − 1`.
+///
+/// `k` bounds every LUT's input count. Deterministic and exact: every
+/// extraction is verified by recomposition, and the final tree recomposes
+/// to the original cut function.
+pub fn resynthesize(
+    exp: &Expansion,
+    c: &Circuit,
+    cut: &[usize],
+    phi: i64,
+    labels: &[i64],
+    height: i64,
+    k: usize,
+) -> Option<Realization> {
+    resynthesize_wires(exp, c, cut, phi, labels, height, k, 1)
+}
+
+/// Like [`resynthesize`], but allowing up to `max_wires` encoding
+/// functions per extraction (Roth–Karp). The paper uses single-output
+/// decomposition (`max_wires = 1`) and cites multi-output decomposition
+/// \[26\] as future work; `max_wires = 2` implements that extension:
+/// bound sets with column multiplicity up to 4 become two encoder LUTs
+/// feeding the root, trading LUT count for coverable cases.
+#[allow(clippy::too_many_arguments)]
+pub fn resynthesize_wires(
+    exp: &Expansion,
+    c: &Circuit,
+    cut: &[usize],
+    phi: i64,
+    labels: &[i64],
+    height: i64,
+    k: usize,
+    max_wires: usize,
+) -> Option<Realization> {
+    assert!(
+        (1..=2).contains(&max_wires),
+        "1 or 2 encoding wires supported"
+    );
+    let m_inputs = cut.len();
+    if m_inputs == 0 {
+        return None;
+    }
+    let mut mgr = Manager::new();
+    let f = exp.cone_bdd(c, cut, &mut mgr);
+
+    // Current root inputs: (BDD variable, signal label λ, source).
+    struct Sig {
+        var: u32,
+        lambda: i64,
+        src: LutInput,
+    }
+    let mut sigs: Vec<Sig> = cut
+        .iter()
+        .enumerate()
+        .map(|(i, &xi)| {
+            let ExpNode { orig, weight } = exp.nodes[xi];
+            Sig {
+                var: i as u32,
+                lambda: labels[orig] - phi * weight,
+                src: LutInput::Sequential { orig, weight },
+            }
+        })
+        .collect();
+
+    // Drop inputs outside the support immediately.
+    let support = mgr.support(f);
+    sigs.retain(|s| support.contains(&s.var));
+    if sigs.iter().any(|s| s.lambda > height - 1) {
+        return None; // a critical input cannot even feed the root directly
+    }
+
+    let mut next_var = m_inputs as u32;
+    let mut luts: Vec<LutSpec> = Vec::new();
+    let mut current = f;
+
+    loop {
+        let live = mgr.support(current);
+        sigs.retain(|s| live.contains(&s.var));
+        if sigs.len() <= k {
+            break; // root LUT fits
+        }
+        // Candidates for burial: λ <= height − 2 (they will sit 2 levels
+        // deep). Sorted by increasing λ — the paper's ordering.
+        sigs.sort_by_key(|s| s.lambda);
+        let buriable = sigs.iter().filter(|s| s.lambda <= height - 2).count();
+        if buriable < 2 {
+            return None;
+        }
+        // Try bound sets: windows of the least-critical buriable inputs,
+        // largest first (reduces support fastest). Single-wire Ashenhurst
+        // extractions are preferred; with `max_wires = 2` a second pass
+        // admits Roth–Karp bound sets of multiplicity up to 4 (they must
+        // shrink the support, so the window needs at least `wires + 1`
+        // members).
+        let mut extracted = false;
+        'outer: for wires in 1..=max_wires {
+            for size in ((wires + 1)..=k.min(buriable)).rev() {
+                for start in 0..=(buriable - size) {
+                    let bound: Vec<u32> = sigs[start..start + size].iter().map(|s| s.var).collect();
+                    let Some(dec) = decompose(&mut mgr, current, &bound, wires, next_var) else {
+                        continue;
+                    };
+                    debug_assert_eq!(recompose(&mut mgr, &dec), current);
+                    // New signals sit one LUT level above their worst member.
+                    let lambda = sigs[start..start + size]
+                        .iter()
+                        .map(|s| s.lambda)
+                        .max()
+                        .expect("non-empty bound set")
+                        + 1;
+                    let enc_inputs: Vec<LutInput> =
+                        sigs[start..start + size].iter().map(|s| s.src).collect();
+                    let mut new_sigs = Vec::new();
+                    for (&enc, &var) in dec.encoders.iter().zip(&dec.encoder_vars) {
+                        let enc_tt = bdd_to_tt(&mgr, enc, &bound);
+                        let lut_idx = luts.len();
+                        luts.push(LutSpec {
+                            tt: enc_tt,
+                            inputs: enc_inputs.clone(),
+                        });
+                        new_sigs.push(Sig {
+                            var,
+                            lambda,
+                            src: LutInput::Internal(lut_idx),
+                        });
+                        next_var = next_var.max(var + 1);
+                    }
+                    // Replace the buried inputs by the encoder outputs.
+                    sigs.drain(start..start + size);
+                    sigs.extend(new_sigs);
+                    current = dec.image;
+                    extracted = true;
+                    break 'outer;
+                }
+            }
+        }
+        if !extracted {
+            return None;
+        }
+    }
+
+    // Root LUT over the remaining signals.
+    if sigs.iter().any(|s| s.lambda > height - 1) {
+        return None;
+    }
+    let root_vars: Vec<u32> = sigs.iter().map(|s| s.var).collect();
+    let root_tt = bdd_to_tt(&mgr, current, &root_vars);
+    let root_inputs: Vec<LutInput> = sigs.iter().map(|s| s.src).collect();
+    let root = luts.len();
+    luts.push(LutSpec {
+        tt: root_tt,
+        inputs: root_inputs,
+    });
+    debug_assert!(luts.iter().all(|l| l.inputs.len() <= k));
+    Some(Realization { luts, root })
+}
+
+/// Dumps a BDD whose support is within `vars` as a truth table whose
+/// input `i` is `vars[i]`.
+fn bdd_to_tt(mgr: &Manager, f: Bdd, vars: &[u32]) -> TruthTable {
+    assert!(vars.len() <= 16, "LUT function over more than 16 inputs");
+    TruthTable::from_fn(vars.len() as u8, |i| {
+        let max_var = vars.iter().copied().max().unwrap_or(0) as usize;
+        let mut assign = vec![false; max_var + 1];
+        for (j, &v) in vars.iter().enumerate() {
+            assign[v as usize] = (i >> j) & 1 == 1;
+        }
+        mgr.eval(f, &assign)
+    })
+}
+
+/// Evaluates a realization on concrete input values (keyed by
+/// `(orig, weight)`): used by tests and verification to confirm the LUT
+/// tree computes the original cut function.
+pub fn eval_realization(r: &Realization, value_of: &dyn Fn(usize, i64) -> bool) -> bool {
+    let mut memo: Vec<Option<bool>> = vec![None; r.luts.len()];
+    fn rec(
+        r: &Realization,
+        idx: usize,
+        value_of: &dyn Fn(usize, i64) -> bool,
+        memo: &mut Vec<Option<bool>>,
+    ) -> bool {
+        if let Some(v) = memo[idx] {
+            return v;
+        }
+        let lut = &r.luts[idx];
+        let mut bits = 0u32;
+        for (i, inp) in lut.inputs.iter().enumerate() {
+            let b = match *inp {
+                LutInput::Sequential { orig, weight } => value_of(orig, weight),
+                LutInput::Internal(j) => rec(r, j, value_of, memo),
+            };
+            bits |= u32::from(b) << i;
+        }
+        let v = lut.tt.eval(bits);
+        memo[idx] = Some(v);
+        v
+    }
+    rec(r, r.root, value_of, &mut memo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expand::ExpandLimits;
+    use turbosyn_netlist::circuit::Fanin;
+    use turbosyn_netlist::gen;
+    use turbosyn_netlist::NodeKind;
+
+    fn unit_labels(c: &Circuit) -> Vec<i64> {
+        c.node_ids()
+            .map(|id| i64::from(matches!(c.node(id).kind, NodeKind::Gate(_))))
+            .collect()
+    }
+
+    /// The figure-1 circuit at its converged φ=1 labels (gates 2): the
+    /// LUT covering g1+g0 needs 7 inputs, but the AND3 side product of g0
+    /// decomposes out, leaving a 5-input root.
+    #[test]
+    fn figure1_cut_function_resynthesizes() {
+        let c = gen::figure1();
+        // Converged labels at phi=1: every loop gate carries label 2.
+        let labels: Vec<i64> = unit_labels(&c).iter().map(|&l| l * 2).collect();
+        let root = c.find("g1").expect("exists").index();
+        // Height 2 at phi 1: must-inside = nodes with l − w >= 2: both g1
+        // and g0 (w=0 on that edge).
+        let exp =
+            Expansion::build(&c, root, 1, &labels, 2, ExpandLimits::default()).expect("expandable");
+        let cut = exp.min_cut(15).expect("wide cut exists");
+        assert!(cut.len() > 5, "cut should exceed K=5, got {}", cut.len());
+        let real = resynthesize(&exp, &c, &cut, 1, &labels, 2, 5).expect("decomposes");
+        assert!(real.lut_count() >= 2);
+        for lut in &real.luts {
+            assert!(lut.inputs.len() <= 5);
+        }
+        // The realization computes the cone function.
+        let tt = exp.cone_tt(&c, &cut);
+        for i in 0..(1u32 << cut.len()) {
+            let value_of = |orig: usize, weight: i64| -> bool {
+                let pos = cut
+                    .iter()
+                    .position(|&xi| exp.nodes[xi].orig == orig && exp.nodes[xi].weight == weight)
+                    .expect("input is a cut node");
+                (i >> pos) & 1 == 1
+            };
+            assert_eq!(eval_realization(&real, &value_of), tt.eval(i), "input {i}");
+        }
+    }
+
+    /// Inputs too critical to bury make resynthesis fail: at height 1 the
+    /// PIs (λ = 0) would need λ <= −1 to pass through an extra LUT level.
+    #[test]
+    fn critical_inputs_block_burial() {
+        let c = gen::figure1();
+        let labels = unit_labels(&c);
+        let root = c.find("g1").expect("exists").index();
+        let exp =
+            Expansion::build(&c, root, 1, &labels, 1, ExpandLimits::default()).expect("expandable");
+        let cut = exp.min_cut(15).expect("cut exists");
+        assert!(cut.len() > 5, "cut should exceed K=5");
+        assert!(resynthesize(&exp, &c, &cut, 1, &labels, 1, 5).is_none());
+    }
+
+    /// A wide AND is always decomposable: chain of ANDs.
+    #[test]
+    fn wide_and_decomposes() {
+        let mut c = Circuit::new("wide");
+        let pis: Vec<_> = (0..8).map(|i| c.add_input(format!("i{i}"))).collect();
+        // Balanced tree of ANDs: depth 3.
+        let mut layer: Vec<_> = pis.clone();
+        let mut n = 0;
+        while layer.len() > 1 {
+            let mut next = Vec::new();
+            for pair in layer.chunks(2) {
+                n += 1;
+                let g = c.add_gate(
+                    format!("g{n}"),
+                    TruthTable::and2(),
+                    vec![Fanin::wire(pair[0]), Fanin::wire(pair[1])],
+                );
+                next.push(g);
+            }
+            layer = next;
+        }
+        c.add_output("o", Fanin::wire(layer[0]));
+        // Pretend labels: gates 2, PIs 0. Covering the whole tree at
+        // height 2 forces the 8-PI cut; K = 4 requires two extractions.
+        let labels: Vec<i64> = unit_labels(&c).iter().map(|&l| l * 2).collect();
+        let root = layer[0].index();
+        let exp =
+            Expansion::build(&c, root, 1, &labels, 2, ExpandLimits::default()).expect("expandable");
+        let cut = exp.min_cut(15).expect("cut exists");
+        assert_eq!(cut.len(), 8, "cut is the 8 PIs");
+        let real = resynthesize(&exp, &c, &cut, 1, &labels, 2, 4).expect("AND decomposes");
+        assert!(real.luts.iter().all(|l| l.inputs.len() <= 4));
+        assert!(real.lut_count() >= 3);
+    }
+}

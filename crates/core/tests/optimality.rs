@@ -1,0 +1,75 @@
+//! Optimality cross-check against a closed form.
+//!
+//! For a ring of `g` XOR gates, each with its own dedicated primary input
+//! and `r` registers on the loop, the minimum mapped MDR ratio at LUT
+//! size K has a provable closed form:
+//!
+//! * a LUT covering `c` consecutive loop gates needs their `c` distinct
+//!   side inputs plus one loop input, so `c <= K − 1`;
+//! * hence any mapping keeps `m >= ceil(g / (K−1))` LUTs on the loop, and
+//!   the ratio is `m / r`, integer-feasible from `φ = ceil(m / r)`;
+//! * conversely that φ is achievable by covering the loop in runs of
+//!   `K − 1` (registers redistribute by retiming).
+//!
+//! TurboMap's label computation must find exactly this value — a direct
+//! optimality check of the expanded-circuit + flow machinery (no
+//! resynthesis involved: XOR chains never block on decomposition).
+
+use turbosyn::{turbomap, MapOptions};
+use turbosyn_netlist::circuit::{Circuit, Fanin};
+use turbosyn_netlist::tt::TruthTable;
+
+/// Ring of `g` XOR gates with *distinct* side PIs and `r` loop registers.
+fn distinct_pi_ring(g: usize, r: usize) -> Circuit {
+    let mut c = Circuit::new(format!("dring_{g}_{r}"));
+    let pis: Vec<_> = (0..g).map(|i| c.add_input(format!("p{i}"))).collect();
+    let gates: Vec<_> = (0..g)
+        .map(|i| {
+            c.add_gate(
+                format!("x{i}"),
+                TruthTable::xor2(),
+                vec![Fanin::wire(pis[i]), Fanin::wire(pis[i])],
+            )
+        })
+        .collect();
+    for i in 0..g {
+        let prev = gates[(i + g - 1) % g];
+        let w = (r * (i + 1) / g - r * i / g) as u32;
+        c.set_fanin(gates[i], 1, Fanin::registered(prev, w));
+    }
+    c.add_output("out", Fanin::wire(gates[g - 1]));
+    c
+}
+
+fn expected_phi(g: usize, r: usize, k: usize) -> i64 {
+    let m = g.div_ceil(k - 1);
+    m.div_ceil(r) as i64
+}
+
+#[test]
+fn turbomap_matches_closed_form() {
+    for k in [3usize, 4, 5] {
+        for g in [2usize, 3, 5, 6, 8] {
+            for r in [1usize, 2, 3] {
+                let c = distinct_pi_ring(g, r);
+                let report = turbomap(&c, &MapOptions::with_k(k)).expect("maps");
+                assert_eq!(
+                    report.phi,
+                    expected_phi(g, r, k),
+                    "ring(g={g}, r={r}, K={k}): got {}, expected {}",
+                    report.phi,
+                    expected_phi(g, r, k)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn closed_form_sanity() {
+    // Spot values: 6 gates, K=4 -> ceil(6/3)=2 LUTs; r=1 -> phi 2, r=2 -> 1.
+    assert_eq!(expected_phi(6, 1, 4), 2);
+    assert_eq!(expected_phi(6, 2, 4), 1);
+    // 8 gates K=3 -> 4 LUTs; r=3 -> ceil(4/3)=2.
+    assert_eq!(expected_phi(8, 3, 3), 2);
+}

@@ -1,0 +1,143 @@
+//! Longest-path relaxation with positive-cycle detection.
+//!
+//! The exact maximum-cycle-ratio computation in [`crate::cycle_ratio`]
+//! reduces to the question *"does the graph contain a cycle of positive
+//! total cost?"* for edge costs of the form `den·t(e) − num·w(e)`. This
+//! module answers that with a Bellman–Ford longest-path sweep (all costs in
+//! `i128` so scaled costs cannot overflow).
+
+use crate::Digraph;
+
+/// Outcome of a longest-path computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LongestPaths {
+    /// No positive cycle: `dist[v]` is the maximum cost over paths from any
+    /// virtual source (all nodes start at cost 0).
+    Finite(Vec<i128>),
+    /// A positive-cost cycle exists; the payload is one node on such a
+    /// cycle.
+    PositiveCycle(usize),
+}
+
+impl LongestPaths {
+    /// True if a positive cycle was found.
+    pub fn has_positive_cycle(&self) -> bool {
+        matches!(self, LongestPaths::PositiveCycle(_))
+    }
+}
+
+/// Runs Bellman–Ford longest paths with every node as a source (distance 0)
+/// using the edge costs produced by `cost`.
+///
+/// Starting every node at distance 0 means a positive-cost **cycle** is
+/// detected regardless of reachability, which is what cycle-ratio feasibility
+/// needs. Uses a queue-based (SPFA-style) relaxation with an iteration-count
+/// guard for the worst case.
+pub fn longest_paths(g: &Digraph, cost: impl Fn(crate::EdgeRef) -> i128) -> LongestPaths {
+    let n = g.node_count();
+    if n == 0 {
+        return LongestPaths::Finite(Vec::new());
+    }
+    let mut dist = vec![0i128; n];
+    let mut in_queue = vec![true; n];
+    // Length (edge count) of the improving path that produced dist[v].
+    // A simple improving path has at most n-1 edges, so reaching n edges
+    // certifies a repeated vertex on a strictly-improving chain — a
+    // positive cycle. (Counting *improvements* instead would be unsound:
+    // parallel edges and cascades legitimately improve a node more than
+    // n times.)
+    let mut len = vec![0usize; n];
+    let mut queue: std::collections::VecDeque<usize> = (0..n).collect();
+
+    while let Some(u) = queue.pop_front() {
+        in_queue[u] = false;
+        for e in g.out_edges(u) {
+            let cand = dist[u] + cost(e);
+            if cand > dist[e.to] {
+                dist[e.to] = cand;
+                len[e.to] = len[u] + 1;
+                if len[e.to] >= n {
+                    return LongestPaths::PositiveCycle(e.to);
+                }
+                if !in_queue[e.to] {
+                    in_queue[e.to] = true;
+                    queue.push_back(e.to);
+                }
+            }
+        }
+    }
+    LongestPaths::Finite(dist)
+}
+
+/// Convenience oracle: does the graph contain a cycle with positive total
+/// cost under `cost`?
+pub fn has_positive_cycle(g: &Digraph, cost: impl Fn(crate::EdgeRef) -> i128) -> bool {
+    longest_paths(g, cost).has_positive_cycle()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Digraph::new(0);
+        assert!(!has_positive_cycle(&g, |e| e.weight as i128));
+    }
+
+    #[test]
+    fn no_cycle_no_positive() {
+        let mut g = Digraph::new(3);
+        g.add_edge(0, 1, 10);
+        g.add_edge(1, 2, 10);
+        assert!(!has_positive_cycle(&g, |e| e.weight as i128));
+        match longest_paths(&g, |e| e.weight as i128) {
+            LongestPaths::Finite(d) => assert_eq!(d, vec![0, 10, 20]),
+            _ => panic!("unexpected positive cycle"),
+        }
+    }
+
+    #[test]
+    fn zero_cost_cycle_is_not_positive() {
+        let mut g = Digraph::new(2);
+        g.add_edge(0, 1, 5);
+        g.add_edge(1, 0, -5);
+        assert!(!has_positive_cycle(&g, |e| e.weight as i128));
+    }
+
+    #[test]
+    fn positive_cycle_found() {
+        let mut g = Digraph::new(3);
+        g.add_edge(0, 1, 1);
+        g.add_edge(1, 0, 0);
+        g.add_edge(1, 2, -100);
+        assert!(has_positive_cycle(&g, |e| e.weight as i128));
+    }
+
+    #[test]
+    fn positive_self_loop() {
+        let mut g = Digraph::new(1);
+        g.add_edge(0, 0, 1);
+        assert!(has_positive_cycle(&g, |e| e.weight as i128));
+    }
+
+    #[test]
+    fn unreachable_positive_cycle_still_found() {
+        // Component {2,3} has the positive cycle; node 0,1 are separate.
+        let mut g = Digraph::new(4);
+        g.add_edge(0, 1, -1);
+        g.add_edge(2, 3, 2);
+        g.add_edge(3, 2, -1);
+        assert!(has_positive_cycle(&g, |e| e.weight as i128));
+    }
+
+    #[test]
+    fn large_negative_costs_finite() {
+        let mut g = Digraph::new(100);
+        for v in 0..99 {
+            g.add_edge(v, v + 1, -1);
+        }
+        g.add_edge(99, 0, -1);
+        assert!(!has_positive_cycle(&g, |e| e.weight as i128));
+    }
+}

@@ -1,0 +1,252 @@
+//! A compact directed multigraph with integer edge weights.
+
+use std::fmt;
+
+/// Identifier of an edge inside a [`Digraph`].
+///
+/// Edge ids are dense indices in insertion order, so they can be used to key
+/// side tables (`Vec<T>` indexed by `EdgeId::index`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(u32);
+
+impl EdgeId {
+    /// Dense index of this edge (insertion order).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// A borrowed view of one edge: endpoints plus weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EdgeRef {
+    /// Edge identifier.
+    pub id: EdgeId,
+    /// Source node.
+    pub from: usize,
+    /// Target node.
+    pub to: usize,
+    /// Integer weight. In retiming graphs this is the number of flip-flops
+    /// on the connection and is always non-negative.
+    pub weight: i64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Edge {
+    from: u32,
+    to: u32,
+    weight: i64,
+}
+
+/// A directed multigraph with `usize` node ids in `0..n` and `i64` edge
+/// weights.
+///
+/// Parallel edges and self-loops are allowed (a self-loop with one register
+/// is how a one-gate feedback loop is modelled). The node count is fixed at
+/// construction but can be grown with [`Digraph::add_node`].
+///
+/// # Example
+///
+/// ```
+/// use turbosyn_graph::Digraph;
+///
+/// let mut g = Digraph::new(2);
+/// let e = g.add_edge(0, 1, 3);
+/// assert_eq!(g.edge(e).weight, 3);
+/// assert_eq!(g.out_degree(0), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Digraph {
+    edges: Vec<Edge>,
+    out: Vec<Vec<EdgeId>>,
+    ins: Vec<Vec<EdgeId>>,
+}
+
+impl Digraph {
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        Digraph {
+            edges: Vec::new(),
+            out: vec![Vec::new(); n],
+            ins: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterator over all node ids, `0..node_count()`.
+    pub fn nodes(&self) -> std::ops::Range<usize> {
+        0..self.node_count()
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self) -> usize {
+        self.out.push(Vec::new());
+        self.ins.push(Vec::new());
+        self.out.len() - 1
+    }
+
+    /// Adds a directed edge `from -> to` with the given weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, from: usize, to: usize, weight: i64) -> EdgeId {
+        assert!(from < self.node_count(), "edge source out of range");
+        assert!(to < self.node_count(), "edge target out of range");
+        let id = EdgeId(u32::try_from(self.edges.len()).expect("too many edges"));
+        self.edges.push(Edge {
+            from: from as u32,
+            to: to as u32,
+            weight,
+        });
+        self.out[from].push(id);
+        self.ins[to].push(id);
+        id
+    }
+
+    /// Returns the edge with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this graph.
+    #[inline]
+    pub fn edge(&self, id: EdgeId) -> EdgeRef {
+        let e = &self.edges[id.index()];
+        EdgeRef {
+            id,
+            from: e.from as usize,
+            to: e.to as usize,
+            weight: e.weight,
+        }
+    }
+
+    /// Replaces the weight of an edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this graph.
+    pub fn set_weight(&mut self, id: EdgeId, weight: i64) {
+        self.edges[id.index()].weight = weight;
+    }
+
+    /// Iterator over the outgoing edges of `v`.
+    pub fn out_edges(&self, v: usize) -> impl Iterator<Item = EdgeRef> + '_ {
+        self.out[v].iter().map(move |&id| self.edge(id))
+    }
+
+    /// Iterator over the incoming edges of `v`.
+    pub fn in_edges(&self, v: usize) -> impl Iterator<Item = EdgeRef> + '_ {
+        self.ins[v].iter().map(move |&id| self.edge(id))
+    }
+
+    /// Iterator over every edge in insertion order.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeRef> + '_ {
+        (0..self.edges.len()).map(move |i| self.edge(EdgeId(i as u32)))
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: usize) -> usize {
+        self.out[v].len()
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: usize) -> usize {
+        self.ins[v].len()
+    }
+
+    /// Returns the reverse graph (every edge flipped, weights kept).
+    pub fn reversed(&self) -> Digraph {
+        let mut g = Digraph::new(self.node_count());
+        for e in self.edges() {
+            g.add_edge(e.to, e.from, e.weight);
+        }
+        g
+    }
+
+    /// True if every edge weight is non-negative (a legal retiming graph).
+    pub fn weights_nonnegative(&self) -> bool {
+        self.edges.iter().all(|e| e.weight >= 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut g = Digraph::new(3);
+        let e0 = g.add_edge(0, 1, 1);
+        let e1 = g.add_edge(1, 2, 0);
+        let e2 = g.add_edge(2, 2, 5);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.edge(e0).from, 0);
+        assert_eq!(g.edge(e1).to, 2);
+        assert_eq!(g.edge(e2).weight, 5);
+        assert_eq!(g.out_degree(2), 1);
+        assert_eq!(g.in_degree(2), 2);
+        assert!(g.weights_nonnegative());
+        g.set_weight(e0, -1);
+        assert!(!g.weights_nonnegative());
+    }
+
+    #[test]
+    fn parallel_edges_are_kept() {
+        let mut g = Digraph::new(2);
+        g.add_edge(0, 1, 0);
+        g.add_edge(0, 1, 2);
+        assert_eq!(g.out_degree(0), 2);
+        let weights: Vec<i64> = g.out_edges(0).map(|e| e.weight).collect();
+        assert_eq!(weights, vec![0, 2]);
+    }
+
+    #[test]
+    fn reversed_flips_edges() {
+        let mut g = Digraph::new(3);
+        g.add_edge(0, 1, 1);
+        g.add_edge(1, 2, 2);
+        let r = g.reversed();
+        assert_eq!(r.out_degree(1), 1);
+        assert_eq!(
+            r.out_edges(2).next().map(|e| (e.to, e.weight)),
+            Some((1, 2))
+        );
+    }
+
+    #[test]
+    fn add_node_grows_graph() {
+        let mut g = Digraph::new(0);
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b, 0);
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "edge target out of range")]
+    fn add_edge_bounds_checked() {
+        let mut g = Digraph::new(1);
+        g.add_edge(0, 1, 0);
+    }
+}

@@ -1,0 +1,297 @@
+//! Minimum-cost flow (successive shortest paths with potentials).
+//!
+//! The minimum-register retiming problem (Leiserson–Saxe's OPT) is the LP
+//! dual of a transshipment problem over the timing-constraint graph; this
+//! module provides the flow solver. Costs may be negative on the first
+//! pass (Bellman–Ford initialization), after which Dijkstra with
+//! potentials takes over.
+
+use std::collections::BinaryHeap;
+
+const INF: i64 = i64::MAX / 4;
+
+#[derive(Debug, Clone)]
+struct Arc {
+    to: u32,
+    cap: i64,
+    cost: i64,
+    rev: u32,
+}
+
+/// A min-cost flow network over nodes `0..n`.
+///
+/// # Example
+///
+/// ```
+/// use turbosyn_graph::mincost::MinCostFlow;
+///
+/// let mut net = MinCostFlow::new(3);
+/// net.add_arc(0, 1, 5, 1);
+/// net.add_arc(1, 2, 5, 1);
+/// net.add_arc(0, 2, 2, 5);
+/// let (flow, cost) = net.min_cost_flow(0, 2, 4).expect("feasible");
+/// assert_eq!(flow, 4);
+/// // All four units take the two-hop path at cost 2 per unit.
+/// assert_eq!(cost, 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MinCostFlow {
+    adj: Vec<Vec<u32>>,
+    arcs: Vec<Arc>,
+}
+
+impl MinCostFlow {
+    /// Creates an empty network with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        MinCostFlow {
+            adj: vec![Vec::new(); n],
+            arcs: Vec::new(),
+        }
+    }
+
+    /// Adds a node, returning its id.
+    pub fn add_node(&mut self) -> usize {
+        self.adj.push(Vec::new());
+        self.adj.len() - 1
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Adds an arc with capacity and per-unit cost. Returns an arc index
+    /// usable with [`MinCostFlow::flow_on`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range endpoints or negative capacity.
+    pub fn add_arc(&mut self, from: usize, to: usize, cap: i64, cost: i64) -> usize {
+        assert!(
+            from < self.adj.len() && to < self.adj.len(),
+            "arc endpoint out of range"
+        );
+        assert!(cap >= 0, "negative capacity");
+        let idx = self.arcs.len();
+        self.arcs.push(Arc {
+            to: to as u32,
+            cap,
+            cost,
+            rev: (idx + 1) as u32,
+        });
+        self.arcs.push(Arc {
+            to: from as u32,
+            cap: 0,
+            cost: -cost,
+            rev: idx as u32,
+        });
+        self.adj[from].push(idx as u32);
+        self.adj[to].push((idx + 1) as u32);
+        idx
+    }
+
+    /// Flow currently on the arc returned by [`MinCostFlow::add_arc`].
+    pub fn flow_on(&self, arc: usize) -> i64 {
+        self.arcs[arc + 1].cap
+    }
+
+    /// Sends up to `want` units from `s` to `t` at minimum cost. Returns
+    /// `Some((flow, cost))` with `flow == want`, or `None` if less than
+    /// `want` can be routed.
+    ///
+    /// Handles negative arc costs (Bellman–Ford for the first potentials).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s == t` or either is out of range, or if the network
+    /// contains a negative-cost cycle of positive capacity.
+    pub fn min_cost_flow(&mut self, s: usize, t: usize, want: i64) -> Option<(i64, i64)> {
+        assert!(
+            s < self.adj.len() && t < self.adj.len(),
+            "terminal out of range"
+        );
+        assert_ne!(s, t, "source and sink must differ");
+        let n = self.adj.len();
+        // Potentials via Bellman–Ford (negative costs allowed; negative
+        // cycles are a caller bug).
+        let mut pot = vec![0i64; n];
+        for round in 0..n {
+            let mut any = false;
+            for (i, arc) in self.arcs.iter().enumerate() {
+                if arc.cap > 0 {
+                    let from = self.arcs[arc.rev as usize].to as usize;
+                    let cand = pot[from].saturating_add(arc.cost);
+                    if cand < pot[arc.to as usize] {
+                        pot[arc.to as usize] = cand;
+                        any = true;
+                    }
+                }
+                let _ = i;
+            }
+            if !any {
+                break;
+            }
+            assert!(round + 1 < n, "negative-cost cycle in flow network");
+        }
+
+        let mut flow = 0i64;
+        let mut cost = 0i64;
+        while flow < want {
+            // Dijkstra with potentials.
+            let mut dist = vec![INF; n];
+            let mut prev_arc: Vec<u32> = vec![u32::MAX; n];
+            dist[s] = 0;
+            let mut heap: BinaryHeap<(std::cmp::Reverse<i64>, usize)> = BinaryHeap::new();
+            heap.push((std::cmp::Reverse(0), s));
+            while let Some((std::cmp::Reverse(d), v)) = heap.pop() {
+                if d > dist[v] {
+                    continue;
+                }
+                for &ai in &self.adj[v] {
+                    let arc = &self.arcs[ai as usize];
+                    if arc.cap <= 0 {
+                        continue;
+                    }
+                    let to = arc.to as usize;
+                    let nd = d + arc.cost + pot[v] - pot[to];
+                    debug_assert!(arc.cost + pot[v] - pot[to] >= 0, "reduced cost negative");
+                    if nd < dist[to] {
+                        dist[to] = nd;
+                        prev_arc[to] = ai;
+                        heap.push((std::cmp::Reverse(nd), to));
+                    }
+                }
+            }
+            if dist[t] >= INF {
+                return None; // cannot route the remaining demand
+            }
+            for v in 0..n {
+                if dist[v] < INF {
+                    pot[v] += dist[v];
+                }
+            }
+            // Bottleneck along the path.
+            let mut push = want - flow;
+            let mut v = t;
+            while v != s {
+                let ai = prev_arc[v] as usize;
+                push = push.min(self.arcs[ai].cap);
+                v = self.arcs[self.arcs[ai].rev as usize].to as usize;
+            }
+            let mut v = t;
+            while v != s {
+                let ai = prev_arc[v] as usize;
+                self.arcs[ai].cap -= push;
+                let rev = self.arcs[ai].rev as usize;
+                self.arcs[rev].cap += push;
+                cost += push * self.arcs[ai].cost;
+                v = self.arcs[rev].to as usize;
+            }
+            flow += push;
+        }
+        Some((flow, cost))
+    }
+}
+
+/// Solves the transshipment problem: node `v` has supply `supply[v]`
+/// (positive = source, negative = demand; must sum to zero); arcs are
+/// `(from, to, cap, cost)`. Returns the minimum total cost and the flow on
+/// every arc, or `None` if the supplies cannot be routed.
+pub fn transshipment(
+    n: usize,
+    supply: &[i64],
+    arcs: &[(usize, usize, i64, i64)],
+) -> Option<(i64, Vec<i64>)> {
+    assert_eq!(supply.len(), n, "supply table size mismatch");
+    assert_eq!(supply.iter().sum::<i64>(), 0, "supplies must balance");
+    let mut net = MinCostFlow::new(n + 2);
+    let (s, t) = (n, n + 1);
+    let ids: Vec<usize> = arcs
+        .iter()
+        .map(|&(a, b, cap, cost)| net.add_arc(a, b, cap, cost))
+        .collect();
+    let mut total = 0;
+    for (v, &sup) in supply.iter().enumerate() {
+        if sup > 0 {
+            net.add_arc(s, v, sup, 0);
+            total += sup;
+        } else if sup < 0 {
+            net.add_arc(v, t, -sup, 0);
+        }
+    }
+    if total == 0 {
+        return Some((0, vec![0; arcs.len()]));
+    }
+    let (_, cost) = net.min_cost_flow(s, t, total)?;
+    let flows = ids.iter().map(|&id| net.flow_on(id)).collect();
+    Some((cost, flows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_two_paths() {
+        let mut net = MinCostFlow::new(4);
+        net.add_arc(0, 1, 2, 1);
+        net.add_arc(1, 3, 2, 1);
+        net.add_arc(0, 2, 2, 3);
+        net.add_arc(2, 3, 2, 3);
+        let (flow, cost) = net.min_cost_flow(0, 3, 3).expect("feasible");
+        assert_eq!(flow, 3);
+        // 2 units over the cheap path (cost 2 each), 1 over the dear (6).
+        assert_eq!(cost, 2 * 2 + 6);
+    }
+
+    #[test]
+    fn infeasible_demand() {
+        let mut net = MinCostFlow::new(2);
+        net.add_arc(0, 1, 1, 1);
+        assert!(net.min_cost_flow(0, 1, 5).is_none());
+    }
+
+    #[test]
+    fn negative_costs_handled() {
+        let mut net = MinCostFlow::new(3);
+        net.add_arc(0, 1, 1, 5);
+        net.add_arc(0, 2, 1, 10);
+        net.add_arc(1, 2, 1, -4);
+        let (flow, cost) = net.min_cost_flow(0, 2, 2).expect("feasible");
+        assert_eq!(flow, 2);
+        // One unit 0->1->2 (5 - 4 = 1), one unit 0->2 (10).
+        assert_eq!(cost, 11);
+    }
+
+    #[test]
+    fn flow_on_reports_arc_flow() {
+        let mut net = MinCostFlow::new(2);
+        let a = net.add_arc(0, 1, 7, 2);
+        let (f, _) = net.min_cost_flow(0, 1, 4).expect("feasible");
+        assert_eq!(f, 4);
+        assert_eq!(net.flow_on(a), 4);
+    }
+
+    #[test]
+    fn transshipment_balances() {
+        // 0 supplies 2, 2 demands 2; route through 1.
+        let (cost, flows) =
+            transshipment(3, &[2, 0, -2], &[(0, 1, 5, 1), (1, 2, 5, 2), (0, 2, 1, 10)])
+                .expect("feasible");
+        // Cheapest: 1 via direct (10)? vs via middle (3). 2 units * 3 = 6.
+        assert_eq!(cost, 6);
+        assert_eq!(flows, vec![2, 2, 0]);
+    }
+
+    #[test]
+    fn transshipment_infeasible() {
+        assert!(transshipment(2, &[1, -1], &[(1, 0, 5, 1)]).is_none());
+    }
+
+    #[test]
+    fn transshipment_zero_supply() {
+        let (cost, flows) = transshipment(2, &[0, 0], &[(0, 1, 5, 1)]).expect("trivial");
+        assert_eq!(cost, 0);
+        assert_eq!(flows, vec![0]);
+    }
+}

@@ -1,0 +1,90 @@
+//! Multi-source reachability with edge filtering.
+//!
+//! The positive-loop-detection procedure (paper Section 4) builds the
+//! *predecessor graph* `G_π` — the subgraph of edges that currently
+//! support a node's label lower bound — and asks whether an SCC is totally
+//! isolated from the primary inputs in it. That question is a filtered
+//! multi-source BFS, provided here.
+
+use crate::Digraph;
+
+/// Returns `reached[v] == true` iff `v` is reachable from some node in
+/// `sources` using only edges for which `keep` returns true.
+///
+/// Sources are always marked reached (even with no edges).
+pub fn reachable_from(
+    g: &Digraph,
+    sources: impl IntoIterator<Item = usize>,
+    keep: impl Fn(crate::EdgeRef) -> bool,
+) -> Vec<bool> {
+    let mut reached = vec![false; g.node_count()];
+    let mut queue = std::collections::VecDeque::new();
+    for s in sources {
+        if !reached[s] {
+            reached[s] = true;
+            queue.push_back(s);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        for e in g.out_edges(v) {
+            if !reached[e.to] && keep(e) {
+                reached[e.to] = true;
+                queue.push_back(e.to);
+            }
+        }
+    }
+    reached
+}
+
+/// Returns the set of nodes reachable from `sources` over all edges.
+pub fn reachable_set(g: &Digraph, sources: impl IntoIterator<Item = usize>) -> Vec<bool> {
+    reachable_from(g, sources, |_| true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_reachability() {
+        let mut g = Digraph::new(4);
+        g.add_edge(0, 1, 0);
+        g.add_edge(1, 2, 0);
+        let r = reachable_set(&g, [0]);
+        assert_eq!(r, vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn multiple_sources() {
+        let mut g = Digraph::new(4);
+        g.add_edge(0, 1, 0);
+        g.add_edge(2, 3, 0);
+        let r = reachable_set(&g, [0, 2]);
+        assert_eq!(r, vec![true, true, true, true]);
+    }
+
+    #[test]
+    fn filtered_edges() {
+        let mut g = Digraph::new(3);
+        g.add_edge(0, 1, 0);
+        g.add_edge(1, 2, 7);
+        let r = reachable_from(&g, [0], |e| e.weight == 0);
+        assert_eq!(r, vec![true, true, false]);
+    }
+
+    #[test]
+    fn no_sources() {
+        let g = Digraph::new(3);
+        let r = reachable_set(&g, []);
+        assert_eq!(r, vec![false; 3]);
+    }
+
+    #[test]
+    fn cycle_reachability_terminates() {
+        let mut g = Digraph::new(2);
+        g.add_edge(0, 1, 0);
+        g.add_edge(1, 0, 0);
+        let r = reachable_set(&g, [0]);
+        assert_eq!(r, vec![true, true]);
+    }
+}

@@ -1,0 +1,216 @@
+//! Strongly connected components (Tarjan) and their condensation.
+//!
+//! TurboMap and TurboSYN process the retiming graph one SCC at a time in
+//! topological order (Theorem 2 of the paper assumes this order), and the
+//! positive-loop-detection test is performed per SCC. The
+//! [`Condensation`] type packages both the component assignment and the
+//! component DAG.
+
+use crate::Digraph;
+
+/// Result of an SCC decomposition.
+///
+/// Components are numbered `0..count` in **topological order of the
+/// condensation**: if there is an edge from component `a` to component `b`
+/// (with `a != b`) then `a < b`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Condensation {
+    /// `comp[v]` is the component index of node `v`.
+    pub comp: Vec<usize>,
+    /// `members[c]` lists the nodes of component `c`.
+    pub members: Vec<Vec<usize>>,
+}
+
+impl Condensation {
+    /// Number of components.
+    pub fn count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True if component `c` contains a cycle: either it has more than one
+    /// node, or its single node has a self-loop in `g`.
+    pub fn is_cyclic(&self, g: &Digraph, c: usize) -> bool {
+        if self.members[c].len() > 1 {
+            return true;
+        }
+        let v = self.members[c][0];
+        g.out_edges(v).any(|e| e.to == v)
+    }
+}
+
+/// Computes strongly connected components with Tarjan's algorithm
+/// (iterative, so deep graphs cannot overflow the call stack).
+///
+/// # Example
+///
+/// ```
+/// use turbosyn_graph::{Digraph, scc::condensation};
+///
+/// let mut g = Digraph::new(4);
+/// g.add_edge(0, 1, 0);
+/// g.add_edge(1, 0, 0); // {0,1} is one SCC
+/// g.add_edge(1, 2, 0);
+/// g.add_edge(2, 3, 0);
+/// let c = condensation(&g);
+/// assert_eq!(c.count(), 3);
+/// assert_eq!(c.comp[0], c.comp[1]);
+/// assert!(c.comp[1] < c.comp[2]); // topological order
+/// ```
+pub fn condensation(g: &Digraph) -> Condensation {
+    let n = g.node_count();
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    // Components come out of Tarjan in *reverse* topological order.
+    let mut comp = vec![UNVISITED; n];
+    let mut members_rev: Vec<Vec<usize>> = Vec::new();
+
+    // Pre-materialized successor lists keep each DFS step O(1).
+    let succ: Vec<Vec<usize>> = (0..n)
+        .map(|v| g.out_edges(v).map(|e| e.to).collect())
+        .collect();
+
+    // Explicit DFS frame: (node, iterator position over out-edges).
+    let mut call: Vec<(usize, usize)> = Vec::new();
+
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        call.push((root, 0));
+        index[root] = next_index;
+        lowlink[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(&mut (v, ref mut ei)) = call.last_mut() {
+            let out = &succ[v];
+            if *ei < out.len() {
+                let w = out[*ei];
+                *ei += 1;
+                if index[w] == UNVISITED {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                call.pop();
+                if let Some(&mut (parent, _)) = call.last_mut() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let c = members_rev.len();
+                    let mut nodes = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp[w] = c;
+                        nodes.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    members_rev.push(nodes);
+                }
+            }
+        }
+    }
+
+    // Renumber so components are in topological order.
+    let count = members_rev.len();
+    let mut members = Vec::with_capacity(count);
+    for c in (0..count).rev() {
+        members.push(std::mem::take(&mut members_rev[c]));
+    }
+    for slot in comp.iter_mut() {
+        *slot = count - 1 - *slot;
+    }
+    Condensation { comp, members }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(n: usize, edges: &[(usize, usize)]) -> Digraph {
+        let mut g = Digraph::new(n);
+        for &(a, b) in edges {
+            g.add_edge(a, b, 0);
+        }
+        g
+    }
+
+    #[test]
+    fn single_node_no_loop() {
+        let g = graph(1, &[]);
+        let c = condensation(&g);
+        assert_eq!(c.count(), 1);
+        assert!(!c.is_cyclic(&g, 0));
+    }
+
+    #[test]
+    fn self_loop_is_cyclic() {
+        let g = graph(1, &[(0, 0)]);
+        let c = condensation(&g);
+        assert!(c.is_cyclic(&g, 0));
+    }
+
+    #[test]
+    fn two_cycles_and_bridge() {
+        // {0,1} -> {2} -> {3,4}
+        let g = graph(5, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 4), (4, 3)]);
+        let c = condensation(&g);
+        assert_eq!(c.count(), 3);
+        assert_eq!(c.comp[0], c.comp[1]);
+        assert_eq!(c.comp[3], c.comp[4]);
+        assert!(c.comp[0] < c.comp[2]);
+        assert!(c.comp[2] < c.comp[3]);
+        assert!(c.is_cyclic(&g, c.comp[0]));
+        assert!(!c.is_cyclic(&g, c.comp[2]));
+    }
+
+    #[test]
+    fn dag_gives_singletons_in_topo_order() {
+        let g = graph(4, &[(0, 1), (1, 2), (0, 3), (3, 2)]);
+        let c = condensation(&g);
+        assert_eq!(c.count(), 4);
+        for e in g.edges() {
+            assert!(c.comp[e.from] < c.comp[e.to]);
+        }
+    }
+
+    #[test]
+    fn long_chain_no_stack_overflow() {
+        // 100k-node chain exercises the iterative DFS.
+        let n = 100_000;
+        let mut g = Digraph::new(n);
+        for v in 0..n - 1 {
+            g.add_edge(v, v + 1, 0);
+        }
+        let c = condensation(&g);
+        assert_eq!(c.count(), n);
+        assert_eq!(c.comp[0], 0);
+        assert_eq!(c.comp[n - 1], n - 1);
+    }
+
+    #[test]
+    fn big_cycle_is_one_component() {
+        let n = 50_000;
+        let mut g = Digraph::new(n);
+        for v in 0..n {
+            g.add_edge(v, (v + 1) % n, 0);
+        }
+        let c = condensation(&g);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.members[0].len(), n);
+    }
+}

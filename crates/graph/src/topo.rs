@@ -1,0 +1,181 @@
+//! Topological sorting and cycle detection for DAGs.
+//!
+//! Expanded circuits and the zero-weight subgraphs used by clock-period
+//! analysis are DAGs; this module provides Kahn's algorithm plus a variant
+//! restricted to zero-weight edges (the combinational skeleton of a
+//! retiming graph).
+
+use crate::Digraph;
+
+/// Error returned by [`topo_sort`] when the graph contains a cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleError {
+    /// One node that lies on a cycle.
+    pub node_on_cycle: usize,
+}
+
+impl std::fmt::Display for CycleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "graph contains a cycle through node {}",
+            self.node_on_cycle
+        )
+    }
+}
+
+impl std::error::Error for CycleError {}
+
+/// Kahn topological sort over **all** edges.
+///
+/// # Errors
+///
+/// Returns [`CycleError`] if the graph is not a DAG; the reported node is
+/// some node with a remaining predecessor (i.e. on or downstream of a
+/// cycle).
+pub fn topo_sort(g: &Digraph) -> Result<Vec<usize>, CycleError> {
+    topo_sort_filtered(g, |_| true)
+}
+
+/// Topological sort of the subgraph formed by edges of weight zero.
+///
+/// A sequential circuit is well-formed exactly when this succeeds: every
+/// feedback loop must carry at least one flip-flop, otherwise the circuit
+/// has a combinational cycle.
+///
+/// # Errors
+///
+/// Returns [`CycleError`] if a zero-weight (combinational) cycle exists.
+pub fn topo_sort_zero_weight(g: &Digraph) -> Result<Vec<usize>, CycleError> {
+    topo_sort_filtered(g, |w| w == 0)
+}
+
+fn topo_sort_filtered(g: &Digraph, keep: impl Fn(i64) -> bool) -> Result<Vec<usize>, CycleError> {
+    let n = g.node_count();
+    let mut indeg = vec![0usize; n];
+    for e in g.edges() {
+        if keep(e.weight) {
+            indeg[e.to] += 1;
+        }
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    let mut head = 0;
+    while head < queue.len() {
+        let v = queue[head];
+        head += 1;
+        order.push(v);
+        for e in g.out_edges(v) {
+            if keep(e.weight) {
+                indeg[e.to] -= 1;
+                if indeg[e.to] == 0 {
+                    queue.push(e.to);
+                }
+            }
+        }
+    }
+    if order.len() == n {
+        Ok(order)
+    } else {
+        let node_on_cycle = (0..n).find(|&v| indeg[v] > 0).expect("cycle node exists");
+        Err(CycleError { node_on_cycle })
+    }
+}
+
+/// Longest path lengths (in edge count weighted by `node_delay of target`)
+/// over the zero-weight subgraph: `depth[v] = max over zero-weight in-edges
+/// (u,v) of depth[u] + delay[v]`, with `depth[v] = delay[v]` for sources.
+///
+/// This is exactly the combinational arrival time of every node under the
+/// unit (or general) delay model, and its maximum is the clock period of
+/// the circuit *without* retiming.
+///
+/// # Errors
+///
+/// Returns [`CycleError`] if a zero-weight cycle exists.
+pub fn zero_weight_depths(g: &Digraph, delay: &[i64]) -> Result<Vec<i64>, CycleError> {
+    assert_eq!(delay.len(), g.node_count(), "delay table size mismatch");
+    let order = topo_sort_zero_weight(g)?;
+    let mut depth: Vec<i64> = delay.to_vec();
+    for &v in &order {
+        for e in g.out_edges(v) {
+            if e.weight == 0 {
+                depth[e.to] = depth[e.to].max(depth[v] + delay[e.to]);
+            }
+        }
+    }
+    Ok(depth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_a_dag() {
+        let mut g = Digraph::new(4);
+        g.add_edge(0, 1, 0);
+        g.add_edge(0, 2, 0);
+        g.add_edge(1, 3, 0);
+        g.add_edge(2, 3, 0);
+        let order = topo_sort(&g).expect("dag");
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 4];
+            for (i, &v) in order.iter().enumerate() {
+                p[v] = i;
+            }
+            p
+        };
+        for e in g.edges() {
+            assert!(pos[e.from] < pos[e.to]);
+        }
+    }
+
+    #[test]
+    fn detects_cycle() {
+        let mut g = Digraph::new(2);
+        g.add_edge(0, 1, 0);
+        g.add_edge(1, 0, 0);
+        assert!(topo_sort(&g).is_err());
+    }
+
+    #[test]
+    fn registered_cycle_is_fine_for_zero_weight_sort() {
+        let mut g = Digraph::new(2);
+        g.add_edge(0, 1, 0);
+        g.add_edge(1, 0, 1); // broken by a flip-flop
+        assert!(topo_sort(&g).is_err());
+        assert!(topo_sort_zero_weight(&g).is_ok());
+    }
+
+    #[test]
+    fn combinational_cycle_detected() {
+        let mut g = Digraph::new(3);
+        g.add_edge(0, 1, 0);
+        g.add_edge(1, 2, 0);
+        g.add_edge(2, 0, 0);
+        let err = topo_sort_zero_weight(&g).unwrap_err();
+        assert!(err.node_on_cycle < 3);
+        assert!(err.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn depths_unit_delay() {
+        // 0 -> 1 -> 2, plus a registered back edge 2 -> 0.
+        let mut g = Digraph::new(3);
+        g.add_edge(0, 1, 0);
+        g.add_edge(1, 2, 0);
+        g.add_edge(2, 0, 1);
+        let d = zero_weight_depths(&g, &[1, 1, 1]).expect("ok");
+        assert_eq!(d, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn depths_respect_custom_delays() {
+        let mut g = Digraph::new(3);
+        g.add_edge(0, 2, 0);
+        g.add_edge(1, 2, 0);
+        let d = zero_weight_depths(&g, &[5, 1, 2]).expect("ok");
+        assert_eq!(d, vec![5, 1, 7]);
+    }
+}

@@ -1,0 +1,19 @@
+//! Regression test for the multigraph positive-cycle false positive: the
+//! improvement-count heuristic wrongly certified a positive cycle here
+//! (parallel 0->2 edges cascade more than n improvements), which made the
+//! Stern-Brocot MDR search diverge. Fixed by length-based detection.
+
+use turbosyn_graph::cycle_ratio::{max_cycle_ratio, Ratio};
+use turbosyn_graph::Digraph;
+
+#[test]
+fn multigraph_cascade_regression() {
+    let delay = vec![3i64, 1, 3];
+    let mut g = Digraph::new(3);
+    g.add_edge(0, 2, 2);
+    g.add_edge(1, 0, 1);
+    g.add_edge(0, 2, 1);
+    g.add_edge(2, 1, 3);
+    // Cycle through the w=1 edge: delay 7, registers 5.
+    assert_eq!(max_cycle_ratio(&g, &delay), Ok(Ratio::new(7, 5)));
+}

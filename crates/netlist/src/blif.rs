@@ -1,0 +1,593 @@
+//! BLIF (Berkeley Logic Interchange Format) reading and writing.
+//!
+//! The MCNC and ISCAS'89 benchmarks the paper evaluates are distributed as
+//! BLIF; this module lets users run the mappers on their own designs. The
+//! supported subset is the sequential core of the format: `.model`,
+//! `.inputs`, `.outputs`, `.names` (single-output SOP covers), `.latch`
+//! (with optional type/clock/initial fields, all treated as a single-clock
+//! rising-edge register initialized to 0), and `.end`.
+//!
+//! Internally a latch becomes a `+1` on the retiming-graph edge weight of
+//! every consumer of the latched signal, matching the
+//! [`Circuit`] representation; the writer emits
+//! one latch chain per driver (maximal output sharing).
+
+use crate::circuit::{Circuit, Fanin, NodeId};
+use crate::tt::TruthTable;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors from [`parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlifError {
+    /// Syntactic problem with a line.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        msg: String,
+    },
+    /// A signal is referenced but never driven.
+    UndrivenSignal(String),
+    /// A signal is driven twice.
+    Redefined(String),
+    /// Latches form a register-only cycle with no gate on it.
+    LatchCycle(String),
+    /// The resulting circuit failed validation.
+    Invalid(String),
+}
+
+impl fmt::Display for BlifError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlifError::Syntax { line, msg } => write!(f, "line {line}: {msg}"),
+            BlifError::UndrivenSignal(s) => write!(f, "signal {s:?} is never driven"),
+            BlifError::Redefined(s) => write!(f, "signal {s:?} is driven more than once"),
+            BlifError::LatchCycle(s) => write!(f, "latch-only cycle through {s:?}"),
+            BlifError::Invalid(s) => write!(f, "invalid circuit: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for BlifError {}
+
+#[derive(Debug)]
+enum Driver {
+    Input,
+    /// `.names` cover: fanin signal names + truth table.
+    Gate(Vec<String>, TruthTable),
+    /// `.latch input output`: this signal is `input` delayed by one.
+    Latch(String),
+}
+
+/// Parses BLIF text into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns a [`BlifError`] describing the first problem found.
+pub fn parse(text: &str) -> Result<Circuit, BlifError> {
+    // Join continuation lines ('\' at end).
+    let mut lines: Vec<(usize, String)> = Vec::new();
+    let mut pending = String::new();
+    let mut pending_start = 0usize;
+    for (i, raw) in text.lines().enumerate() {
+        let no_comment = match raw.find('#') {
+            Some(p) => &raw[..p],
+            None => raw,
+        };
+        let trimmed = no_comment.trim_end();
+        if pending.is_empty() {
+            pending_start = i + 1;
+        }
+        if let Some(stripped) = trimmed.strip_suffix('\\') {
+            pending.push_str(stripped);
+            pending.push(' ');
+        } else {
+            pending.push_str(trimmed);
+            let full = std::mem::take(&mut pending);
+            if !full.trim().is_empty() {
+                lines.push((pending_start, full));
+            }
+        }
+    }
+
+    let mut model = String::from("blif");
+    let mut input_names: Vec<String> = Vec::new();
+    let mut output_names: Vec<String> = Vec::new();
+    let mut drivers: HashMap<String, Driver> = HashMap::new();
+    let mut order: Vec<String> = Vec::new(); // gate declaration order
+
+    let mut i = 0usize;
+    while i < lines.len() {
+        let (lineno, line) = (&lines[i].0, lines[i].1.as_str());
+        let lineno = *lineno;
+        let mut tok = line.split_whitespace();
+        let head = tok.next().unwrap_or("");
+        match head {
+            ".model" => {
+                model = tok.next().unwrap_or("blif").to_string();
+                i += 1;
+            }
+            ".inputs" => {
+                for t in tok {
+                    input_names.push(t.to_string());
+                    if drivers.insert(t.to_string(), Driver::Input).is_some() {
+                        return Err(BlifError::Redefined(t.to_string()));
+                    }
+                }
+                i += 1;
+            }
+            ".outputs" => {
+                output_names.extend(tok.map(str::to_string));
+                i += 1;
+            }
+            ".latch" => {
+                let args: Vec<&str> = tok.collect();
+                if args.len() < 2 {
+                    return Err(BlifError::Syntax {
+                        line: lineno,
+                        msg: ".latch needs input and output".into(),
+                    });
+                }
+                let (input, output) = (args[0].to_string(), args[1].to_string());
+                if drivers
+                    .insert(output.clone(), Driver::Latch(input))
+                    .is_some()
+                {
+                    return Err(BlifError::Redefined(output));
+                }
+                i += 1;
+            }
+            ".names" => {
+                let args: Vec<&str> = tok.collect();
+                if args.is_empty() {
+                    return Err(BlifError::Syntax {
+                        line: lineno,
+                        msg: ".names needs at least an output".into(),
+                    });
+                }
+                let output = args[args.len() - 1].to_string();
+                let fanins: Vec<String> = args[..args.len() - 1]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect();
+                // Collect cover lines until the next dot-directive.
+                let mut cubes: Vec<(String, char)> = Vec::new();
+                i += 1;
+                while i < lines.len() && !lines[i].1.trim_start().starts_with('.') {
+                    let (cl, cover) = (&lines[i].0, lines[i].1.trim());
+                    let parts: Vec<&str> = cover.split_whitespace().collect();
+                    let (pattern, out) = if fanins.is_empty() {
+                        if parts.len() != 1 {
+                            return Err(BlifError::Syntax {
+                                line: *cl,
+                                msg: "constant cover must be a single 0/1".into(),
+                            });
+                        }
+                        (String::new(), parts[0])
+                    } else {
+                        if parts.len() != 2 {
+                            return Err(BlifError::Syntax {
+                                line: *cl,
+                                msg: "cover line must be <pattern> <value>".into(),
+                            });
+                        }
+                        (parts[0].to_string(), parts[1])
+                    };
+                    let out_char = match out {
+                        "1" => '1',
+                        "0" => '0',
+                        _ => {
+                            return Err(BlifError::Syntax {
+                                line: *cl,
+                                msg: format!("cover output must be 0 or 1, got {out:?}"),
+                            })
+                        }
+                    };
+                    if pattern.len() != fanins.len() {
+                        return Err(BlifError::Syntax {
+                            line: *cl,
+                            msg: "cover pattern length mismatch".into(),
+                        });
+                    }
+                    cubes.push((pattern, out_char));
+                    i += 1;
+                }
+                let tt = cover_to_tt(&fanins, &cubes, lineno)?;
+                if drivers
+                    .insert(output.clone(), Driver::Gate(fanins, tt))
+                    .is_some()
+                {
+                    return Err(BlifError::Redefined(output));
+                }
+                order.push(output);
+            }
+            ".end" => {
+                i += 1;
+            }
+            ".exdc" | ".clock" | ".wire_load_slope" | ".gate" | ".mlatch" => {
+                // Unsupported extensions: skip the directive line.
+                i += 1;
+            }
+            _ => {
+                return Err(BlifError::Syntax {
+                    line: lineno,
+                    msg: format!("unknown directive {head:?}"),
+                });
+            }
+        }
+    }
+
+    build_circuit(model, &input_names, &output_names, &drivers, &order)
+}
+
+fn cover_to_tt(
+    fanins: &[String],
+    cubes: &[(String, char)],
+    lineno: usize,
+) -> Result<TruthTable, BlifError> {
+    let n = fanins.len();
+    if n > 16 {
+        return Err(BlifError::Syntax {
+            line: lineno,
+            msg: format!(".names with {n} inputs exceeds the 16-input limit"),
+        });
+    }
+    if cubes.is_empty() {
+        // Empty cover = constant 0 per BLIF convention.
+        return Ok(TruthTable::constant(n as u8, false));
+    }
+    let polarity = cubes[0].1;
+    if cubes.iter().any(|(_, p)| *p != polarity) {
+        return Err(BlifError::Syntax {
+            line: lineno,
+            msg: "mixed on-set/off-set cover".into(),
+        });
+    }
+    let mut acc = TruthTable::constant(n as u8, false);
+    for (pat, _) in cubes {
+        let mut cube = TruthTable::constant(n as u8, true);
+        for (v, ch) in pat.chars().enumerate() {
+            let lit = match ch {
+                '1' => TruthTable::lit(n as u8, v as u8),
+                '0' => TruthTable::lit(n as u8, v as u8).not(),
+                '-' => continue,
+                _ => {
+                    return Err(BlifError::Syntax {
+                        line: lineno,
+                        msg: format!("bad cover character {ch:?}"),
+                    })
+                }
+            };
+            cube = cube.and(&lit);
+        }
+        acc = acc.or(&cube);
+    }
+    Ok(if polarity == '1' { acc } else { acc.not() })
+}
+
+fn build_circuit(
+    model: String,
+    input_names: &[String],
+    output_names: &[String],
+    drivers: &HashMap<String, Driver>,
+    order: &[String],
+) -> Result<Circuit, BlifError> {
+    // Resolve a signal to (defining non-latch signal, accumulated weight).
+    fn resolve<'a>(
+        signal: &'a str,
+        drivers: &'a HashMap<String, Driver>,
+        hops: usize,
+    ) -> Result<(&'a str, u32), BlifError> {
+        if hops > drivers.len() + 1 {
+            return Err(BlifError::LatchCycle(signal.to_string()));
+        }
+        match drivers.get(signal) {
+            None => Err(BlifError::UndrivenSignal(signal.to_string())),
+            Some(Driver::Latch(inner)) => {
+                let (root, w) = resolve(inner, drivers, hops + 1)?;
+                Ok((root, w + 1))
+            }
+            Some(_) => Ok((signal, 0)),
+        }
+    }
+
+    let mut c = Circuit::new(model);
+    let mut node_of: HashMap<&str, NodeId> = HashMap::new();
+    for name in input_names {
+        node_of.insert(name.as_str(), c.add_input(name.clone()));
+    }
+    // First create all gate nodes (with empty fanins), then wire them: this
+    // permits forward references and feedback.
+    for name in order {
+        let Driver::Gate(_, tt) = &drivers[name.as_str()] else {
+            unreachable!("order only lists gates")
+        };
+        let placeholder = vec![Fanin::wire(NodeId::from_index(0)); tt.nvars() as usize];
+        // Placeholder fanins reference node 0 temporarily; fixed below.
+        let id = c.add_gate(name.clone(), tt.clone(), placeholder);
+        node_of.insert(name.as_str(), id);
+    }
+    for name in order {
+        let Driver::Gate(fanins, _) = &drivers[name.as_str()] else {
+            unreachable!()
+        };
+        let id = node_of[name.as_str()];
+        for (k, fsig) in fanins.iter().enumerate() {
+            let (root, w) = resolve(fsig, drivers, 0)?;
+            let src = *node_of
+                .get(root)
+                .ok_or_else(|| BlifError::UndrivenSignal(root.to_string()))?;
+            c.set_fanin(id, k, Fanin::registered(src, w));
+        }
+    }
+    for name in output_names {
+        let (root, w) = resolve(name, drivers, 0)?;
+        let src = *node_of
+            .get(root)
+            .ok_or_else(|| BlifError::UndrivenSignal(root.to_string()))?;
+        // Keep the user-visible output name on the PO node; if the driving
+        // gate has the same name, rename the gate (node names must be
+        // unique). This keeps round-trips stable: write() re-emits the
+        // buffer under the original output name.
+        if root == name {
+            let mut fresh = format!("{name}__sig");
+            let mut n = 1;
+            while c.find(&fresh).is_some() {
+                n += 1;
+                fresh = format!("{name}__sig{n}");
+            }
+            c.rename_node(src, fresh);
+        }
+        c.add_output(name.clone(), Fanin::registered(src, w));
+    }
+    c.validate()
+        .map_err(|e| BlifError::Invalid(e.to_string()))?;
+    Ok(c)
+}
+
+/// Serializes a circuit to BLIF text.
+///
+/// Registers are emitted as `.latch` chains shared per driver (a fanin of
+/// weight `w` reads the `w`-th element of the driver's latch chain).
+pub fn write(c: &Circuit) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    writeln!(s, ".model {}", c.name()).expect("string write");
+    let ins: Vec<&str> = c
+        .inputs()
+        .iter()
+        .map(|&i| c.node(i).name.as_str())
+        .collect();
+    let outs: Vec<&str> = c
+        .outputs()
+        .iter()
+        .map(|&o| c.node(o).name.as_str())
+        .collect();
+    writeln!(s, ".inputs {}", ins.join(" ")).expect("string write");
+    writeln!(s, ".outputs {}", outs.join(" ")).expect("string write");
+
+    // Signal renaming: a gate that directly (weight 0) drives exactly one
+    // PO is emitted under the PO's name, avoiding an alias buffer that
+    // would cost a unit delay on reparse.
+    let rename: HashMap<usize, &str> = {
+        let mut candidates: HashMap<usize, Vec<&str>> = HashMap::new();
+        for &po in c.outputs() {
+            let f = c.node(po).fanins[0];
+            if f.weight == 0 && matches!(c.node(f.source).kind, crate::circuit::NodeKind::Gate(_)) {
+                candidates
+                    .entry(f.source.index())
+                    .or_default()
+                    .push(c.node(po).name.as_str());
+            }
+        }
+        candidates
+            .into_iter()
+            .filter_map(|(src, names)| (names.len() == 1).then(|| (src, names[0])))
+            .collect()
+    };
+
+    // Latch chains: longest weight needed per driver.
+    let mut max_w = vec![0u32; c.node_count()];
+    for id in c.node_ids() {
+        for f in &c.node(id).fanins {
+            max_w[f.source.index()] = max_w[f.source.index()].max(f.weight);
+        }
+    }
+    let sig = |id: NodeId, w: u32, c: &Circuit| -> String {
+        let base = match rename.get(&id.index()) {
+            Some(&po_name) => po_name.to_string(),
+            None => c.node(id).name.clone(),
+        };
+        if w == 0 {
+            base
+        } else {
+            format!("{base}__d{w}")
+        }
+    };
+    for id in c.node_ids() {
+        for w in 1..=max_w[id.index()] {
+            writeln!(s, ".latch {} {} 0", sig(id, w - 1, c), sig(id, w, c)).expect("string write");
+        }
+    }
+
+    for id in c.gates() {
+        let node = c.node(id);
+        let crate::circuit::NodeKind::Gate(tt) = &node.kind else {
+            unreachable!()
+        };
+        let fan: Vec<String> = node
+            .fanins
+            .iter()
+            .map(|f| sig(f.source, f.weight, c))
+            .collect();
+        write!(s, ".names").expect("string write");
+        for f in &fan {
+            write!(s, " {f}").expect("string write");
+        }
+        writeln!(s, " {}", sig(id, 0, c)).expect("string write");
+        // Emit the on-set as minterms.
+        for i in 0..(1u32 << tt.nvars()) {
+            if tt.eval(i) {
+                let mut pat = String::new();
+                for v in 0..tt.nvars() {
+                    pat.push(if (i >> v) & 1 == 1 { '1' } else { '0' });
+                }
+                if tt.nvars() == 0 {
+                    writeln!(s, "1").expect("string write");
+                } else {
+                    writeln!(s, "{pat} 1").expect("string write");
+                }
+            }
+        }
+    }
+
+    // Primary outputs: a buffer from the (possibly delayed) driver signal.
+    for &o in c.outputs() {
+        let node = c.node(o);
+        let f = node.fanins[0];
+        let src = sig(f.source, f.weight, c);
+        if src != node.name {
+            writeln!(s, ".names {} {}", src, node.name).expect("string write");
+            writeln!(s, "1 1").expect("string write");
+        }
+    }
+    writeln!(s, ".end").expect("string write");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equiv::sequential_equiv_by_simulation;
+
+    const TOGGLE: &str = "\
+.model toggle
+.inputs en
+.outputs q
+.names en q_reg q_next
+10 1
+01 1
+.latch q_next q_reg re clk 0
+.names q_reg q
+1 1
+.end
+";
+
+    #[test]
+    fn parses_toggle() {
+        let c = parse(TOGGLE).expect("parses");
+        assert_eq!(c.name(), "toggle");
+        assert_eq!(c.inputs().len(), 1);
+        assert_eq!(c.outputs().len(), 1);
+        assert_eq!(c.register_count_shared(), 1);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn toggle_behaves() {
+        let c = parse(TOGGLE).expect("parses");
+        let mut sim = crate::sim::Simulator::new(&c).expect("valid");
+        // q reads the register, so it lags q_next by one cycle.
+        assert_eq!(sim.step(&[true]), vec![false]); // q_next(-1) = 0
+        assert_eq!(sim.step(&[true]), vec![true]); // q_next(0) = 0^1
+        assert_eq!(sim.step(&[false]), vec![false]); // q_next(1) = 1^1
+        assert_eq!(sim.step(&[false]), vec![false]); // q_next(2) = 0^0
+    }
+
+    #[test]
+    fn roundtrip_preserves_behaviour() {
+        let c = parse(TOGGLE).expect("parses");
+        let text = write(&c);
+        let c2 = parse(&text).expect("reparses");
+        sequential_equiv_by_simulation(&c, &c2, 64, 8, 4, 11).expect("equivalent");
+    }
+
+    #[test]
+    fn constant_names() {
+        let src = "\
+.model consts
+.inputs a
+.outputs z o
+.names z
+.names o
+1
+.end
+";
+        let c = parse(src).expect("parses");
+        let mut sim = crate::sim::Simulator::new(&c).expect("valid");
+        assert_eq!(sim.step(&[false]), vec![false, true]);
+    }
+
+    #[test]
+    fn off_set_cover() {
+        // NOR via off-set: output 0 when any input is 1.
+        let src = "\
+.model nor2
+.inputs a b
+.outputs y
+.names a b y
+1- 0
+-1 0
+.end
+";
+        let c = parse(src).expect("parses");
+        let mut sim = crate::sim::Simulator::new(&c).expect("valid");
+        assert_eq!(sim.step(&[false, false]), vec![true]);
+        assert_eq!(sim.step(&[true, false]), vec![false]);
+        assert_eq!(sim.step(&[false, true]), vec![false]);
+        assert_eq!(sim.step(&[true, true]), vec![false]);
+    }
+
+    #[test]
+    fn latch_chain_accumulates() {
+        let src = "\
+.model chain
+.inputs a
+.outputs y
+.latch a d1 0
+.latch d1 d2 0
+.names d2 y
+1 1
+.end
+";
+        let c = parse(src).expect("parses");
+        // The gate driving the PO was renamed to keep "y" on the PO node.
+        let g = c.find("y__sig").expect("gate");
+        assert_eq!(c.node(g).fanins[0].weight, 2);
+    }
+
+    #[test]
+    fn undriven_signal_reported() {
+        let src = ".model bad\n.inputs a\n.outputs y\n.names a ghost y\n11 1\n.end\n";
+        assert!(matches!(parse(src), Err(BlifError::UndrivenSignal(_))));
+    }
+
+    #[test]
+    fn latch_only_cycle_reported() {
+        let src = ".model bad\n.outputs y\n.latch b a 0\n.latch a b 0\n.names a y\n1 1\n.end\n";
+        assert!(matches!(parse(src), Err(BlifError::LatchCycle(_))));
+    }
+
+    #[test]
+    fn redefinition_reported() {
+        let src = ".model bad\n.inputs a\n.outputs y\n.names a y\n1 1\n.names a y\n0 1\n.end\n";
+        assert!(matches!(parse(src), Err(BlifError::Redefined(_))));
+    }
+
+    #[test]
+    fn continuation_lines() {
+        let src = ".model cont\n.inputs a \\\nb\n.outputs y\n.names a b y\n11 1\n.end\n";
+        let c = parse(src).expect("parses");
+        assert_eq!(c.inputs().len(), 2);
+    }
+
+    #[test]
+    fn output_fed_directly_by_latched_pi() {
+        let src = ".model d\n.inputs a\n.outputs q\n.latch a q 0\n.end\n";
+        let c = parse(src).expect("parses");
+        let mut sim = crate::sim::Simulator::new(&c).expect("valid");
+        assert_eq!(sim.step(&[true]), vec![false]);
+        assert_eq!(sim.step(&[false]), vec![true]);
+    }
+}

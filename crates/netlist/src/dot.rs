@@ -1,0 +1,82 @@
+//! Graphviz DOT export for circuits.
+//!
+//! Handy for inspecting small mappings: gates are boxes, primary I/O are
+//! ellipses, and registered connections are labelled with their register
+//! count and drawn dashed.
+
+use crate::circuit::{Circuit, NodeKind};
+use std::fmt::Write as _;
+
+/// Renders the circuit as a Graphviz `digraph`.
+///
+/// # Example
+///
+/// ```
+/// use turbosyn_netlist::{gen, dot};
+/// let text = dot::to_dot(&gen::ring(3, 1));
+/// assert!(text.starts_with("digraph"));
+/// assert!(text.contains("w=1"));
+/// ```
+pub fn to_dot(c: &Circuit) -> String {
+    let mut s = String::new();
+    writeln!(s, "digraph \"{}\" {{", c.name()).expect("string write");
+    writeln!(s, "  rankdir=LR;").expect("string write");
+    for id in c.node_ids() {
+        let node = c.node(id);
+        let (shape, extra) = match &node.kind {
+            NodeKind::Input => ("ellipse", ", style=filled, fillcolor=lightblue"),
+            NodeKind::Output => ("ellipse", ", style=filled, fillcolor=lightyellow"),
+            NodeKind::Gate(_) => ("box", ""),
+        };
+        writeln!(
+            s,
+            "  n{} [label=\"{}\", shape={shape}{extra}];",
+            id.index(),
+            node.name
+        )
+        .expect("string write");
+    }
+    for id in c.node_ids() {
+        for f in &c.node(id).fanins {
+            if f.weight == 0 {
+                writeln!(s, "  n{} -> n{};", f.source.index(), id.index()).expect("string write");
+            } else {
+                writeln!(
+                    s,
+                    "  n{} -> n{} [label=\"w={}\", style=dashed];",
+                    f.source.index(),
+                    id.index(),
+                    f.weight
+                )
+                .expect("string write");
+            }
+        }
+    }
+    writeln!(s, "}}").expect("string write");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn renders_all_nodes_and_edges() {
+        let c = gen::ring(3, 2);
+        let d = to_dot(&c);
+        assert_eq!(d.matches("shape=box").count(), 3);
+        assert_eq!(d.matches("shape=ellipse").count(), 2); // 1 PI + 1 PO
+        assert_eq!(d.matches(" -> ").count(), c.to_digraph().edge_count());
+        assert!(d.contains("style=dashed"));
+        assert!(d.ends_with("}\n"));
+    }
+
+    #[test]
+    fn names_are_quoted_labels() {
+        let c = gen::figure1();
+        let d = to_dot(&c);
+        assert!(d.contains("label=\"g0\""));
+        assert!(d.contains("label=\"a3\""));
+    }
+}

@@ -1,0 +1,751 @@
+//! Benchmark circuit generators.
+//!
+//! The paper evaluates on 12 MCNC FSM benchmarks and 4 ISCAS'89 circuits
+//! prepared with SIS + dmig. Those netlists are not redistributable here,
+//! so this module generates deterministic synthetic circuits of the same
+//! structural classes and scales (see DESIGN.md, *Substitutions*):
+//!
+//! * [`fsm`] — dense next-state logic over a handful of state registers,
+//!   every state bit on short feedback loops (the MCNC FSM class).
+//! * [`iscas_like`] — layered datapath logic with sparse registered
+//!   feedback (the ISCAS'89 class), scalable to 10^4+ gates.
+//! * [`ring`] — a single loop with a known, constructed MDR ratio
+//!   (ground truth for tests).
+//! * [`pipeline`] — feed-forward layered logic (no loops at all).
+//! * [`counter`], [`lfsr`] — classic small sequential circuits.
+//! * [`figure1`] — a reconstruction of the paper's Figure 1 motivating
+//!   example: a 4-gate loop with 2 registers whose per-gate PI side-logic
+//!   blocks every K-feasible cut, so pure mapping (TurboMap) is stuck at
+//!   clock period 2 while mapping-with-resynthesis (TurboSYN) reaches the
+//!   MDR bound of 1.
+//! * [`suite`] — the named benchmark set used by the Table 1 experiment.
+
+use crate::circuit::{Circuit, Fanin, NodeId};
+use crate::kbound::decompose_to_k;
+use crate::tt::TruthTable;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Benchmark class, mirroring the two halves of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchClass {
+    /// MCNC-FSM-like: dense control logic, few registers.
+    Fsm,
+    /// ISCAS'89-like: layered datapath with sparse feedback.
+    Iscas,
+}
+
+/// A named generated benchmark.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Benchmark name (named after the paper's Table 1 rows).
+    pub name: &'static str,
+    /// Structural class.
+    pub class: BenchClass,
+    /// The generated circuit (2-bounded).
+    pub circuit: Circuit,
+}
+
+/// A reconstruction of the paper's Figure 1 example (see module docs).
+///
+/// Structure: gates `g_0..g_3` form a loop carrying 2 registers; each gate
+/// computes `(a_i & b_i & c_i) XOR loop_in`. With K = 5:
+///
+/// * any LUT covering two loop gates needs 6 PIs + 1 loop input = 7 > K,
+///   so TurboMap cannot beat 4 LUTs on the loop → MDR ratio 2;
+/// * TurboSYN decomposes each `a&b&c` side product out of the cut
+///   function (column multiplicity 2), leaving 2 loop LUTs → MDR ratio 1.
+pub fn figure1() -> Circuit {
+    let mut c = Circuit::new("figure1");
+    let and3 = TruthTable::from_fn(4, |i| {
+        let side = (i & 0b0111) == 0b0111;
+        let loop_in = (i >> 3) & 1 == 1;
+        side ^ loop_in
+    });
+    let mut gates: Vec<NodeId> = Vec::new();
+    for g in 0..4 {
+        let a = c.add_input(format!("a{g}"));
+        let b = c.add_input(format!("b{g}"));
+        let d = c.add_input(format!("c{g}"));
+        let gate = c.add_gate(
+            format!("g{g}"),
+            and3.clone(),
+            vec![
+                Fanin::wire(a),
+                Fanin::wire(b),
+                Fanin::wire(d),
+                Fanin::wire(a), // placeholder; loop wired below
+            ],
+        );
+        gates.push(gate);
+    }
+    for g in 0..4 {
+        let prev = gates[(g + 3) % 4];
+        // Two registers total on the loop: on the g0<-g3 and g2<-g1 edges.
+        let w = if g == 0 || g == 2 { 1 } else { 0 };
+        c.set_fanin(gates[g], 3, Fanin::registered(prev, w));
+    }
+    c.add_output("out", Fanin::wire(gates[3]));
+    c
+}
+
+/// A variant of [`figure1`] whose side logic has column multiplicity 4:
+/// each loop gate computes `loop ? h1(s0,s1,s2) : h0(s0,s1,s2)` with two
+/// independent side functions, so single-output (Ashenhurst)
+/// decomposition cannot bury the sides — only the Roth–Karp multi-output
+/// extension (`max_wires = 2`) can. Used by the multi-wire ablation.
+pub fn figure1_mux() -> Circuit {
+    let mut c = Circuit::new("figure1_mux");
+    // h1 = a & b & c, h0 = a ^ b ^ c: independent side functions.
+    let mux_tt = TruthTable::from_fn(4, |i| {
+        let s = i & 0b0111;
+        let h1 = s == 0b0111;
+        let h0 = (s.count_ones() % 2) == 1;
+        if (i >> 3) & 1 == 1 {
+            h1
+        } else {
+            h0
+        }
+    });
+    let mut gates: Vec<NodeId> = Vec::new();
+    for g in 0..4 {
+        let a = c.add_input(format!("a{g}"));
+        let b = c.add_input(format!("b{g}"));
+        let d = c.add_input(format!("c{g}"));
+        let gate = c.add_gate(
+            format!("g{g}"),
+            mux_tt.clone(),
+            vec![
+                Fanin::wire(a),
+                Fanin::wire(b),
+                Fanin::wire(d),
+                Fanin::wire(a),
+            ],
+        );
+        gates.push(gate);
+    }
+    for g in 0..4 {
+        let prev = gates[(g + 3) % 4];
+        let w = if g == 0 || g == 2 { 1 } else { 0 };
+        c.set_fanin(gates[g], 3, Fanin::registered(prev, w));
+    }
+    c.add_output("out", Fanin::wire(gates[3]));
+    c
+}
+
+/// Configuration for [`fsm`].
+#[derive(Debug, Clone, Copy)]
+pub struct FsmConfig {
+    /// Number of state registers (one feedback chain per bit).
+    pub state_bits: usize,
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Length of each next-state chain (gates on the state loop).
+    pub depth: usize,
+    /// RNG seed (generation is deterministic).
+    pub seed: u64,
+}
+
+/// Percentage of chain gates whose function is a random (usually
+/// non-decomposable) 4-input table rather than `op(h(sides), prev)`.
+const ND_PCT: u32 = 15;
+/// Percentage of chain edges that carry an extra register (splitting
+/// FlowSYN-s segments mid-chain).
+const MIDREG_PCT: u32 = 15;
+
+/// One chain gate: 4 inputs, input 3 is `prev` (the chain), inputs 0-2
+/// are side signals. Decomposable gates compute `op(h(s0,s1,s2), prev)`
+/// with a random 3-input `h` and a random binary `op` — column
+/// multiplicity 2 for the side bound set, the structure TurboSYN's
+/// sequential decomposition exploits. Non-decomposable gates are random
+/// tables mixing `prev` inseparably.
+fn chain_gate_tt(rng: &mut StdRng) -> TruthTable {
+    if rng.random_range(0..100) < ND_PCT {
+        // Random 4-input function that actually depends on prev.
+        loop {
+            let bits: u64 = rng.random::<u64>() & 0xFFFF;
+            let tt = TruthTable::from_bits(4, &[bits]);
+            if tt.support().contains(&3) {
+                return tt;
+            }
+        }
+    }
+    let h_bits: u64 = rng.random::<u64>() & 0xFF;
+    let h = TruthTable::from_bits(3, &[h_bits]);
+    let op = rng.random_range(0..4);
+    TruthTable::from_fn(4, |i| {
+        let hv = h.eval(i & 0b0111);
+        let prev = (i >> 3) & 1 == 1;
+        match op {
+            0 => hv ^ prev,
+            1 => hv & prev,
+            2 => hv | prev,
+            _ => !(hv ^ prev),
+        }
+    })
+}
+
+/// Generates a random FSM-class circuit in the style of the paper's MCNC
+/// benchmarks after SIS + dmig: next-state logic is made of K-bounded
+/// *complex gates* (4 inputs) chained along the state loops, each mixing
+/// a side product of primary inputs into the running chain. This is the
+/// structural class where mapping-with-resynthesis shines: covering two
+/// chain gates needs more than K inputs until the side products are
+/// decomposed out. Gates are 4-bounded (use
+/// [`crate::kbound::decompose_to_k`] for smaller K).
+pub fn fsm(cfg: FsmConfig) -> Circuit {
+    assert!(
+        cfg.state_bits > 0 && cfg.inputs > 0 && cfg.depth > 0,
+        "degenerate FSM config"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut c = Circuit::new(format!("fsm_s{}", cfg.seed));
+    let pis: Vec<NodeId> = (0..cfg.inputs)
+        .map(|i| c.add_input(format!("in{i}")))
+        .collect();
+
+    // State roots created up front (placeholder fanins) so chains can
+    // reference them through registers before they are wired.
+    let state: Vec<NodeId> = (0..cfg.state_bits)
+        .map(|i| {
+            c.add_gate(
+                format!("state{i}"),
+                chain_gate_tt(&mut rng),
+                vec![Fanin::wire(pis[0]); 4],
+            )
+        })
+        .collect();
+
+    // A side signal: usually a PI, sometimes a registered state bit.
+    let side = |rng: &mut StdRng, c: &Circuit| -> Fanin {
+        let _ = c;
+        if rng.random_range(0..100) < 85 {
+            Fanin::wire(pis[rng.random_range(0..pis.len())])
+        } else {
+            Fanin::registered(state[rng.random_range(0..state.len())], 1)
+        }
+    };
+
+    let build_chain = |c: &mut Circuit,
+                       rng: &mut StdRng,
+                       prefix: &str,
+                       len: usize,
+                       end: Option<NodeId>|
+     -> NodeId {
+        // Chain start: a registered state bit (closing a loop).
+        let mut prev = Fanin::registered(state[rng.random_range(0..state.len())], 1);
+        let mut last = state[0];
+        let steps = if end.is_some() {
+            len.saturating_sub(1)
+        } else {
+            len
+        };
+        for j in 0..steps {
+            let fanins = vec![side(rng, c), side(rng, c), side(rng, c), prev];
+            let id = c.add_gate(format!("{prefix}_c{j}"), chain_gate_tt(rng), fanins);
+            let w = u32::from(rng.random_range(0..100) < MIDREG_PCT);
+            prev = Fanin::registered(id, w);
+            last = id;
+        }
+        if let Some(root) = end {
+            // Wire the pre-created state root as the final chain step.
+            let fanins = [side(rng, c), side(rng, c), side(rng, c), prev];
+            for (slot, f) in fanins.into_iter().enumerate() {
+                c.set_fanin(root, slot, f);
+            }
+            root
+        } else {
+            last
+        }
+    };
+
+    for (i, &s) in state.iter().enumerate().collect::<Vec<_>>() {
+        build_chain(&mut c, &mut rng, &format!("ns{i}"), cfg.depth, Some(s));
+    }
+    for o in 0..cfg.outputs {
+        let len = (cfg.depth / 2).max(1);
+        let root = build_chain(&mut c, &mut rng, &format!("out{o}"), len, None);
+        c.add_output(format!("po{o}"), Fanin::wire(root));
+    }
+    debug_assert!(
+        c.validate().is_ok(),
+        "fsm generator produced invalid circuit"
+    );
+    c
+}
+
+/// Configuration for [`iscas_like`].
+#[derive(Debug, Clone, Copy)]
+pub struct IscasConfig {
+    /// Number of logic layers.
+    pub layers: usize,
+    /// Gates per layer.
+    pub width: usize,
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Fraction (0..=100) of gates that take a registered feedback fanin
+    /// from a later layer.
+    pub feedback_pct: u8,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Generates an ISCAS'89-class circuit: `layers x width` random 2-input
+/// gates; a `feedback_pct` fraction of gates reads a *registered* value
+/// from a random gate anywhere in the array (forward references allowed —
+/// they are what creates loops). Always 2-bounded and valid: feedback is
+/// always through at least one register.
+pub fn iscas_like(cfg: IscasConfig) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut c = Circuit::new(format!("iscas_s{}", cfg.seed));
+    let pis: Vec<NodeId> = (0..cfg.inputs)
+        .map(|i| c.add_input(format!("in{i}")))
+        .collect();
+
+    // Create all gates up front with placeholder fanins, then wire.
+    // ~30% of the gates are 4-input complex gates (side product mixed
+    // into a running signal) — the structural class ISCAS'89 netlists
+    // exhibit after technology-independent synthesis, and the shape that
+    // distinguishes the mappers on loops.
+    let mut gates: Vec<Vec<NodeId>> = Vec::new();
+    for l in 0..cfg.layers {
+        let mut layer = Vec::new();
+        for wdx in 0..cfg.width {
+            let tt = if rng.random_range(0..100) < 30 {
+                chain_gate_tt(&mut rng)
+            } else {
+                match rng.random_range(0..4) {
+                    0 => TruthTable::and2(),
+                    1 => TruthTable::or2(),
+                    2 => TruthTable::xor2(),
+                    _ => TruthTable::nand2(),
+                }
+            };
+            let arity = tt.nvars() as usize;
+            layer.push(c.add_gate(format!("g{l}_{wdx}"), tt, vec![Fanin::wire(pis[0]); arity]));
+        }
+        gates.push(layer);
+    }
+    let all_gates: Vec<NodeId> = gates.iter().flatten().copied().collect();
+    for (l, layer) in gates.iter().enumerate() {
+        for &g in layer {
+            let arity = c.node(g).fanins.len();
+            for slot in 0..arity {
+                // The last slot is the "running" input and may close a
+                // loop; side slots read PIs or earlier layers.
+                let is_prev = slot == arity - 1;
+                let feedback = is_prev && rng.random_range(0..100) < cfg.feedback_pct;
+                let fanin = if feedback {
+                    // Registered read from any gate (loops allowed).
+                    let src = all_gates[rng.random_range(0..all_gates.len())];
+                    Fanin::registered(src, rng.random_range(1..3))
+                } else if l == 0 || rng.random_range(0..100) < 20 {
+                    Fanin::wire(pis[rng.random_range(0..pis.len())])
+                } else {
+                    // Wire from a strictly earlier layer: acyclic.
+                    let src_layer = rng.random_range(0..l);
+                    let src = gates[src_layer][rng.random_range(0..cfg.width)];
+                    Fanin::wire(src)
+                };
+                c.set_fanin(g, slot, fanin);
+            }
+        }
+    }
+    let last = gates.last().expect("at least one layer");
+    for o in 0..cfg.outputs {
+        let src = last[o % last.len()];
+        c.add_output(format!("po{o}"), Fanin::wire(src));
+    }
+    debug_assert!(
+        c.validate().is_ok(),
+        "iscas generator produced invalid circuit"
+    );
+    c
+}
+
+/// A single loop of `gates` 2-input XOR gates carrying `regs` registers,
+/// with one PI mixed in and one PO tap. Its gate-level MDR ratio is
+/// exactly `gates / regs`.
+///
+/// # Panics
+///
+/// Panics if `gates == 0` or `regs == 0`.
+pub fn ring(gates: usize, regs: usize) -> Circuit {
+    assert!(
+        gates > 0 && regs > 0,
+        "ring needs at least one gate and register"
+    );
+    let mut c = Circuit::new(format!("ring_{gates}_{regs}"));
+    let pi = c.add_input("in");
+    let mut ids = Vec::with_capacity(gates);
+    for g in 0..gates {
+        let id = c.add_gate(
+            format!("r{g}"),
+            TruthTable::xor2(),
+            vec![Fanin::wire(pi), Fanin::wire(pi)],
+        );
+        ids.push(id);
+    }
+    // Distribute `regs` registers around the loop as evenly as possible.
+    for g in 0..gates {
+        let prev = ids[(g + gates - 1) % gates];
+        let w = (regs * (g + 1) / gates - regs * g / gates) as u32;
+        c.set_fanin(ids[g], 1, Fanin::registered(prev, w));
+    }
+    c.add_output("out", Fanin::wire(ids[gates - 1]));
+    c
+}
+
+/// A feed-forward pipeline: `layers x width` random gates, one register
+/// between consecutive layers. No loops.
+pub fn pipeline(layers: usize, width: usize, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(format!("pipe_{layers}x{width}"));
+    let pis: Vec<NodeId> = (0..width.max(2))
+        .map(|i| c.add_input(format!("in{i}")))
+        .collect();
+    let mut prev: Vec<(NodeId, u32)> = pis.iter().map(|&p| (p, 0)).collect();
+    for l in 0..layers {
+        let mut layer = Vec::new();
+        for wdx in 0..width {
+            let tt = match rng.random_range(0..3) {
+                0 => TruthTable::and2(),
+                1 => TruthTable::or2(),
+                _ => TruthTable::xor2(),
+            };
+            let (s0, w0) = prev[rng.random_range(0..prev.len())];
+            let (s1, w1) = prev[rng.random_range(0..prev.len())];
+            let id = c.add_gate(
+                format!("p{l}_{wdx}"),
+                tt,
+                vec![Fanin::registered(s0, w0), Fanin::registered(s1, w1)],
+            );
+            layer.push(id);
+        }
+        prev = layer.into_iter().map(|id| (id, 1)).collect();
+    }
+    for (o, &(src, w)) in prev.iter().enumerate() {
+        c.add_output(format!("po{o}"), Fanin::registered(src, w));
+    }
+    c
+}
+
+/// An `n`-bit binary up-counter (ripple-carry structure).
+pub fn counter(bits: usize) -> Circuit {
+    assert!(bits > 0, "counter needs at least one bit");
+    let mut c = Circuit::new(format!("counter{bits}"));
+    // carry[0] = 1 (enable tied high via a constant gate).
+    let one = c.add_gate("const1", TruthTable::constant(0, true), vec![]);
+    let mut carry = one;
+    let mut carry_w = 0u32;
+    for b in 0..bits {
+        // q_b' = q_b XOR carry ; carry' = q_b AND carry.
+        let q = c.add_gate(
+            format!("q{b}"),
+            TruthTable::xor2(),
+            vec![Fanin::registered(carry, carry_w), Fanin::wire(one)],
+        );
+        c.set_fanin(q, 1, Fanin::registered(q, 1));
+        let nc = c.add_gate(
+            format!("c{b}"),
+            TruthTable::and2(),
+            vec![Fanin::registered(carry, carry_w), Fanin::registered(q, 1)],
+        );
+        c.add_output(format!("b{b}"), Fanin::wire(q));
+        carry = nc;
+        carry_w = 0;
+    }
+    c
+}
+
+/// A Fibonacci LFSR over registers at the given tap positions; register
+/// count is `taps.iter().max() + 1`.
+///
+/// # Panics
+///
+/// Panics if `taps` is empty.
+pub fn lfsr(taps: &[usize]) -> Circuit {
+    assert!(!taps.is_empty(), "lfsr needs at least one tap");
+    let n = taps.iter().copied().max().expect("non-empty") + 1;
+    let mut c = Circuit::new(format!("lfsr{n}"));
+    let seed_in = c.add_input("seed");
+    // feedback = XOR of tapped stages; stage i = feedback delayed i+1.
+    // Build the XOR tree over (fb, i+1)-registered self references.
+    let fb = c.add_gate(
+        "fb",
+        TruthTable::xor2(),
+        vec![Fanin::wire(seed_in), Fanin::wire(seed_in)],
+    );
+    let mut acc = c.add_gate(
+        "tap0",
+        TruthTable::or2(),
+        vec![
+            Fanin::wire(seed_in),
+            Fanin::registered(fb, taps[0] as u32 + 1),
+        ],
+    );
+    for (k, &t) in taps.iter().enumerate().skip(1) {
+        acc = c.add_gate(
+            format!("tap{k}"),
+            TruthTable::xor2(),
+            vec![Fanin::wire(acc), Fanin::registered(fb, t as u32 + 1)],
+        );
+    }
+    c.set_fanin(fb, 1, Fanin::wire(acc));
+    c.set_fanin(fb, 0, Fanin::wire(seed_in));
+    c.add_output("out", Fanin::registered(fb, n as u32));
+    c
+}
+
+/// Name and class of one Table 1 benchmark row.
+struct SuiteRow {
+    name: &'static str,
+    class: BenchClass,
+}
+
+/// Generates the named benchmark suite used by the Table 1 / area / PLD
+/// experiments: 12 FSM-class circuits named after the paper's MCNC rows
+/// and 4 ISCAS-class circuits. All circuits are 2-bounded.
+///
+/// Sizes follow the MCNC/ISCAS scale (tens to thousands of gates); see
+/// DESIGN.md for the substitution rationale.
+pub fn suite() -> Vec<Benchmark> {
+    let fsm_rows: Vec<(SuiteRow, FsmConfig)> = vec![
+        (row("bbara", BenchClass::Fsm, 101), fsm_cfg(4, 4, 2, 6, 101)),
+        (row("bbsse", BenchClass::Fsm, 102), fsm_cfg(4, 7, 7, 7, 102)),
+        (row("cse", BenchClass::Fsm, 103), fsm_cfg(4, 7, 7, 8, 103)),
+        (row("dk16", BenchClass::Fsm, 104), fsm_cfg(5, 2, 3, 10, 104)),
+        (row("keyb", BenchClass::Fsm, 105), fsm_cfg(5, 7, 2, 8, 105)),
+        (
+            row("kirkman", BenchClass::Fsm, 106),
+            fsm_cfg(4, 12, 6, 6, 106),
+        ),
+        (
+            row("planet", BenchClass::Fsm, 107),
+            fsm_cfg(6, 7, 19, 10, 107),
+        ),
+        (row("pma", BenchClass::Fsm, 108), fsm_cfg(5, 8, 8, 9, 108)),
+        (row("s1", BenchClass::Fsm, 109), fsm_cfg(5, 8, 6, 9, 109)),
+        (
+            row("sand", BenchClass::Fsm, 110),
+            fsm_cfg(5, 11, 9, 10, 110),
+        ),
+        (
+            row("scf", BenchClass::Fsm, 111),
+            fsm_cfg(7, 10, 20, 10, 111),
+        ),
+        (row("styr", BenchClass::Fsm, 112), fsm_cfg(5, 9, 10, 9, 112)),
+    ];
+    let iscas_rows: Vec<(SuiteRow, IscasConfig)> = vec![
+        (
+            row("s420", BenchClass::Iscas, 201),
+            iscas_cfg(6, 35, 18, 2, 20, 201),
+        ),
+        (
+            row("s838", BenchClass::Iscas, 202),
+            iscas_cfg(8, 55, 34, 2, 20, 202),
+        ),
+        (
+            row("s1423", BenchClass::Iscas, 203),
+            iscas_cfg(10, 70, 17, 5, 24, 203),
+        ),
+        (
+            row("s5378", BenchClass::Iscas, 204),
+            iscas_cfg(12, 230, 35, 49, 24, 204),
+        ),
+    ];
+
+    let mut out = Vec::new();
+    for (r, cfg) in fsm_rows {
+        let mut circuit = fsm(cfg);
+        circuit.set_name(r.name);
+        out.push(Benchmark {
+            name: r.name,
+            class: r.class,
+            circuit,
+        });
+    }
+    for (r, cfg) in iscas_rows {
+        let mut circuit = iscas_like(cfg);
+        circuit.set_name(r.name);
+        out.push(Benchmark {
+            name: r.name,
+            class: r.class,
+            circuit,
+        });
+    }
+    out
+}
+
+fn row(name: &'static str, class: BenchClass, _seed: u64) -> SuiteRow {
+    SuiteRow { name, class }
+}
+
+fn fsm_cfg(state_bits: usize, inputs: usize, outputs: usize, depth: usize, seed: u64) -> FsmConfig {
+    FsmConfig {
+        state_bits,
+        inputs,
+        outputs,
+        depth,
+        seed,
+    }
+}
+
+fn iscas_cfg(
+    layers: usize,
+    width: usize,
+    inputs: usize,
+    outputs: usize,
+    feedback_pct: u8,
+    seed: u64,
+) -> IscasConfig {
+    IscasConfig {
+        layers,
+        width,
+        inputs,
+        outputs,
+        feedback_pct,
+        seed,
+    }
+}
+
+/// Re-exported convenience: K-bounds any generated circuit (they are all
+/// 2-bounded already, but callers sometimes want explicit assurance).
+pub fn ensure_k_bounded(c: &Circuit, k: usize) -> Circuit {
+    if c.is_k_bounded(k) {
+        c.clone()
+    } else {
+        decompose_to_k(c, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbosyn_graph::cycle_ratio::{max_cycle_ratio, Ratio};
+
+    #[test]
+    fn figure1_shape() {
+        let c = figure1();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.gate_count(), 4);
+        assert_eq!(c.register_count(), 2);
+        // Gate-level MDR ratio: 4 gates / 2 regs = 2.
+        let mdr = max_cycle_ratio(&c.to_digraph(), &c.delays()).expect("cyclic");
+        assert_eq!(mdr, Ratio::new(2, 1));
+    }
+
+    #[test]
+    fn figure1_mux_shape() {
+        let c = figure1_mux();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.gate_count(), 4);
+        assert_eq!(c.register_count(), 2);
+        let mdr = max_cycle_ratio(&c.to_digraph(), &c.delays()).expect("cyclic");
+        assert_eq!(mdr, Ratio::new(2, 1));
+        // The side bound set has multiplicity 3: the (h0, h1) pairs
+        // realized by (XOR3, AND3) are {(0,0), (1,0), (1,1)} — more than
+        // the 2 that single-output decomposition can encode.
+        let g0 = c.find("g0").expect("exists");
+        let crate::circuit::NodeKind::Gate(tt) = &c.node(g0).kind else {
+            panic!("gate")
+        };
+        assert_eq!(tt.column_multiplicity(&[0, 1, 2]), 3);
+    }
+
+    #[test]
+    fn fsm_is_valid_and_cyclic() {
+        let c = fsm(fsm_cfg(4, 4, 2, 3, 7));
+        assert!(c.validate().is_ok());
+        assert!(c.is_k_bounded(4), "chain gates have 4 inputs");
+        assert!(c.register_count() > 0);
+        // State loops exist.
+        assert!(max_cycle_ratio(&c.to_digraph(), &c.delays()).is_ok());
+    }
+
+    #[test]
+    fn fsm_is_deterministic() {
+        let a = fsm(fsm_cfg(4, 4, 2, 3, 7));
+        let b = fsm(fsm_cfg(4, 4, 2, 3, 7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn iscas_is_valid() {
+        let c = iscas_like(iscas_cfg(6, 30, 10, 4, 10, 3));
+        assert!(c.validate().is_ok());
+        assert!(c.is_k_bounded(4), "mix of 2- and 4-input gates");
+        assert!(c.gate_count() >= 150);
+    }
+
+    #[test]
+    fn ring_has_exact_mdr() {
+        for (g, r) in [(4usize, 2usize), (3, 1), (6, 4), (5, 5)] {
+            let c = ring(g, r);
+            assert!(c.validate().is_ok());
+            let mdr = max_cycle_ratio(&c.to_digraph(), &c.delays()).expect("cyclic");
+            assert_eq!(mdr, Ratio::new(g as i64, r as i64), "ring({g},{r})");
+        }
+    }
+
+    #[test]
+    fn pipeline_is_acyclic() {
+        let c = pipeline(4, 6, 5);
+        assert!(c.validate().is_ok());
+        assert!(max_cycle_ratio(&c.to_digraph(), &c.delays()).is_err());
+    }
+
+    #[test]
+    fn counter_counts() {
+        let c = counter(3);
+        assert!(c.validate().is_ok());
+        let mut sim = crate::sim::Simulator::new(&c).expect("valid");
+        let mut values = Vec::new();
+        for _ in 0..9 {
+            let out = sim.step(&[]);
+            let v: u32 = out
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| u32::from(b) << i)
+                .sum();
+            values.push(v);
+        }
+        assert_eq!(values, vec![1, 2, 3, 4, 5, 6, 7, 0, 1]);
+    }
+
+    #[test]
+    fn lfsr_validates_and_cycles() {
+        let c = lfsr(&[0, 2]);
+        assert!(c.validate().is_ok());
+        assert!(max_cycle_ratio(&c.to_digraph(), &c.delays()).is_ok());
+    }
+
+    #[test]
+    fn suite_has_sixteen_rows() {
+        let s = suite();
+        assert_eq!(s.len(), 16);
+        assert_eq!(s.iter().filter(|b| b.class == BenchClass::Fsm).count(), 12);
+        for b in &s {
+            assert!(b.circuit.validate().is_ok(), "{} invalid", b.name);
+            // FSM rows use 4-input complex gates (the SIS+dmig class);
+            // ISCAS rows are 2-bounded.
+            assert!(b.circuit.is_k_bounded(4), "{} not 4-bounded", b.name);
+            assert!(
+                b.circuit.register_count() > 0,
+                "{} has no registers",
+                b.name
+            );
+        }
+        // The large ISCAS row really is large.
+        let big = s.iter().find(|b| b.name == "s5378").expect("exists");
+        assert!(
+            big.circuit.gate_count() >= 2000,
+            "s5378 too small: {}",
+            big.circuit.gate_count()
+        );
+    }
+}

@@ -1,0 +1,343 @@
+//! Gate decomposition into K-bounded networks.
+//!
+//! The label-computation machinery (and the paper) assumes the input
+//! circuit is *K-bounded*: every gate has at most K fanins. Real netlists
+//! are not; the paper points at balanced-tree decomposition, DMIG and
+//! DOGMA as standard preprocessors. This module provides a memoized
+//! Shannon decomposition that rewrites every wide gate into a DAG of
+//! gates with at most K inputs (K >= 2), sharing identical subfunctions.
+//!
+//! The decomposition is exact: every produced subnetwork is verified
+//! against the original gate function.
+
+use crate::circuit::{Circuit, Fanin, NodeId, NodeKind};
+use crate::tt::TruthTable;
+use std::collections::HashMap;
+
+/// Rewrites `c` so that every gate has at most `k` fanins.
+///
+/// Gates already within bound are copied verbatim; wider gates are
+/// decomposed by memoized Shannon expansion (identical cofactor functions
+/// are shared). Register weights stay on the leaf connections, so the
+/// retiming-graph semantics are unchanged.
+///
+/// # Panics
+///
+/// Panics if `k < 2`, or if `c` fails validation.
+pub fn decompose_to_k(c: &Circuit, k: usize) -> Circuit {
+    assert!(k >= 2, "gates cannot be decomposed below 2 inputs");
+    c.validate().expect("input circuit must be valid");
+
+    let mut out = Circuit::new(c.name().to_string());
+    // map[old node] = new node id (root of its decomposition for gates).
+    let mut map: HashMap<NodeId, NodeId> = HashMap::new();
+
+    // Wiring deferred until every root exists (feedback edges!):
+    // (new node, fanin slot) <- old fanin (source resolved later).
+    let mut pending: Vec<(NodeId, usize, Fanin)> = Vec::new();
+
+    for old_id in c.node_ids() {
+        let node = c.node(old_id);
+        match &node.kind {
+            NodeKind::Input => {
+                map.insert(old_id, out.add_input(node.name.clone()));
+            }
+            NodeKind::Output => { /* after gates */ }
+            NodeKind::Gate(tt) => {
+                let mut builder = TreeBuilder {
+                    out: &mut out,
+                    memo: HashMap::new(),
+                    base_name: node.name.clone(),
+                    counter: 0,
+                    k,
+                    pending: &mut pending,
+                };
+                let inputs: Vec<u8> = (0..tt.nvars()).collect();
+                let root = builder.build(tt.clone(), &inputs, node, true);
+                map.insert(old_id, root);
+            }
+        }
+    }
+    for &old_id in c.outputs() {
+        let node = c.node(old_id);
+        let f = node.fanins[0];
+        let new_src = map[&f.source];
+        out.add_output(node.name.clone(), Fanin::registered(new_src, f.weight));
+    }
+    // Resolve deferred leaf wiring.
+    for (gate, slot, old_fanin) in pending {
+        let new_src = map[&old_fanin.source];
+        out.set_fanin(gate, slot, Fanin::registered(new_src, old_fanin.weight));
+    }
+    debug_assert!(out.is_k_bounded(k));
+    debug_assert!(out.validate().is_ok());
+    out
+}
+
+struct TreeBuilder<'a> {
+    out: &'a mut Circuit,
+    /// Memo: (truth table, ordered original-input list) -> built node.
+    memo: HashMap<(TruthTable, Vec<u8>), NodeId>,
+    base_name: String,
+    counter: usize,
+    k: usize,
+    pending: &'a mut Vec<(NodeId, usize, Fanin)>,
+}
+
+impl TreeBuilder<'_> {
+    fn fresh_name(&mut self, is_root: bool) -> String {
+        if is_root {
+            self.base_name.clone()
+        } else {
+            self.counter += 1;
+            format!("{}__k{}", self.base_name, self.counter)
+        }
+    }
+
+    /// Builds the function `tt` whose inputs are the original gate inputs
+    /// listed in `inputs` (tt input `i` = original input `inputs[i]`).
+    /// Returns the node computing it. `orig` is the original gate node
+    /// (for leaf fanin weights); `is_root` names the final node after the
+    /// original gate.
+    fn build(
+        &mut self,
+        tt: TruthTable,
+        inputs: &[u8],
+        orig: &crate::circuit::Node,
+        is_root: bool,
+    ) -> NodeId {
+        // Shrink to support first.
+        let support = tt.support();
+        let (tt, inputs): (TruthTable, Vec<u8>) = if support.len() < tt.nvars() as usize {
+            let proj = tt.project(&support);
+            let mapped: Vec<u8> = support.iter().map(|&s| inputs[s as usize]).collect();
+            (proj, mapped)
+        } else {
+            (tt, inputs.to_vec())
+        };
+
+        if !is_root {
+            if let Some(&hit) = self.memo.get(&(tt.clone(), inputs.clone())) {
+                return hit;
+            }
+        }
+
+        let id = if (tt.nvars() as usize) <= self.k {
+            // Leaf gate: direct references to the original fanins.
+            let name = self.fresh_name(is_root);
+            let placeholder = vec![Fanin::wire(NodeId::from_index(0)); tt.nvars() as usize];
+            let id = self.out.add_gate(name, tt.clone(), placeholder);
+            for (slot, &oi) in inputs.iter().enumerate() {
+                let f = orig.fanins[oi as usize];
+                self.pending.push((id, slot, f));
+            }
+            id
+        } else {
+            // Shannon split on the last input (keeps earlier inputs
+            // together, which tends to share cofactors in practice).
+            let v = (tt.nvars() - 1) as usize;
+            let f0 = tt.cofactor(v as u8, false);
+            let f1 = tt.cofactor(v as u8, true);
+            let t0 = self.build(f0, &inputs, orig, false);
+            let t1 = self.build(f1, &inputs, orig, false);
+            let sel = inputs[v];
+            let sel_fanin = orig.fanins[sel as usize];
+            if self.k >= 3 {
+                // One 3-input mux: out = sel ? t1 : t0.
+                let mux = TruthTable::from_fn(3, |i| {
+                    if (i >> 2) & 1 == 1 {
+                        (i >> 1) & 1 == 1
+                    } else {
+                        i & 1 == 1
+                    }
+                });
+                let name = self.fresh_name(is_root);
+                let id = self.out.add_gate(
+                    name,
+                    mux,
+                    vec![
+                        Fanin::wire(t0),
+                        Fanin::wire(t1),
+                        Fanin::wire(NodeId::from_index(0)),
+                    ],
+                );
+                self.pending.push((id, 2, sel_fanin));
+                id
+            } else {
+                // k == 2: mux from NOT/AND/AND/OR.
+                let nsel_name = self.fresh_name(false);
+                let nsel = self.out.add_gate(
+                    nsel_name,
+                    TruthTable::inv(),
+                    vec![Fanin::wire(NodeId::from_index(0))],
+                );
+                self.pending.push((nsel, 0, sel_fanin));
+                let a0_name = self.fresh_name(false);
+                let a0 = self.out.add_gate(
+                    a0_name,
+                    TruthTable::and2(),
+                    vec![Fanin::wire(t0), Fanin::wire(nsel)],
+                );
+                let a1_name = self.fresh_name(false);
+                let a1 = self.out.add_gate(
+                    a1_name,
+                    TruthTable::and2(),
+                    vec![Fanin::wire(t1), Fanin::wire(NodeId::from_index(0))],
+                );
+                self.pending.push((a1, 1, sel_fanin));
+                let name = self.fresh_name(is_root);
+                self.out.add_gate(
+                    name,
+                    TruthTable::or2(),
+                    vec![Fanin::wire(a0), Fanin::wire(a1)],
+                )
+            }
+        };
+        if !is_root {
+            self.memo.insert((tt, inputs), id);
+        }
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equiv::{combinational_equiv, sequential_equiv_by_simulation};
+
+    fn wide_gate_circuit(n: u8, tt: TruthTable) -> Circuit {
+        let mut c = Circuit::new("wide");
+        let ins: Vec<NodeId> = (0..n).map(|i| c.add_input(format!("i{i}"))).collect();
+        let g = c.add_gate("g", tt, ins.iter().map(|&i| Fanin::wire(i)).collect());
+        c.add_output("o", Fanin::wire(g));
+        c
+    }
+
+    #[test]
+    fn narrow_gates_untouched() {
+        let c = wide_gate_circuit(2, TruthTable::and2());
+        let d = decompose_to_k(&c, 4);
+        assert_eq!(d.gate_count(), 1);
+        combinational_equiv(&c, &d).expect("equivalent");
+    }
+
+    #[test]
+    fn wide_and_k2() {
+        let and6 = TruthTable::from_fn(6, |i| i == 63);
+        let c = wide_gate_circuit(6, and6);
+        let d = decompose_to_k(&c, 2);
+        assert!(d.is_k_bounded(2));
+        combinational_equiv(&c, &d).expect("equivalent");
+    }
+
+    #[test]
+    fn wide_parity_k3_shares_cofactors() {
+        let par8 = TruthTable::from_fn(8, |i| i.count_ones() % 2 == 1);
+        let c = wide_gate_circuit(8, par8);
+        let d = decompose_to_k(&c, 3);
+        assert!(d.is_k_bounded(3));
+        combinational_equiv(&c, &d).expect("equivalent");
+        // Memoization keeps parity decomposition linear-ish: each Shannon
+        // level has two distinct cofactors (parity and its complement).
+        assert!(
+            d.gate_count() <= 2 * 8 + 4,
+            "parity should share aggressively, got {} gates",
+            d.gate_count()
+        );
+    }
+
+    #[test]
+    fn random_wide_functions_stay_equivalent() {
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        for k in [2usize, 3, 5] {
+            for _ in 0..5 {
+                let bits: [u64; 2] = [rng.random(), rng.random()];
+                let tt = TruthTable::from_bits(7, &bits);
+                let c = wide_gate_circuit(7, tt);
+                let d = decompose_to_k(&c, k);
+                assert!(d.is_k_bounded(k));
+                combinational_equiv(&c, &d).expect("equivalent");
+            }
+        }
+    }
+
+    #[test]
+    fn registers_survive_on_leaves() {
+        // Gate with registered fanins must keep the weights.
+        let and4 = TruthTable::from_fn(4, |i| i == 15);
+        let mut c = Circuit::new("regs");
+        let ins: Vec<NodeId> = (0..4).map(|i| c.add_input(format!("i{i}"))).collect();
+        let g = c.add_gate(
+            "g",
+            and4,
+            ins.iter().map(|&i| Fanin::registered(i, 1)).collect(),
+        );
+        c.add_output("o", Fanin::wire(g));
+        let d = decompose_to_k(&c, 2);
+        assert!(d.is_k_bounded(2));
+        assert_eq!(d.register_count_shared(), 4);
+        sequential_equiv_by_simulation(&c, &d, 64, 8, 4, 5).expect("equivalent");
+    }
+
+    #[test]
+    fn kbounding_is_symbolically_exact() {
+        // K-bounding keeps registers on leaf edges, so the rewritten
+        // circuit is equivalent from the zero state over *all* stimuli.
+        use crate::equiv::bounded_equiv_symbolic;
+        let and4 = TruthTable::from_fn(4, |i| i == 15);
+        let mut c = Circuit::new("sym");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g = c.add_gate(
+            "g",
+            and4,
+            vec![
+                Fanin::wire(a),
+                Fanin::registered(b, 1),
+                Fanin::wire(b),
+                Fanin::wire(a),
+            ],
+        );
+        c.set_fanin(g, 3, Fanin::registered(g, 2));
+        c.add_output("o", Fanin::wire(g));
+        let d = decompose_to_k(&c, 2);
+        bounded_equiv_symbolic(&c, &d, 8).expect("exact over all 2^16 stimuli");
+    }
+
+    #[test]
+    fn feedback_loop_decomposes() {
+        // q' = AND(a, b, c, q) with a register on the feedback.
+        let and4 = TruthTable::from_fn(4, |i| i == 15);
+        let mut c = Circuit::new("fb");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let d_in = c.add_input("c");
+        let g = c.add_gate(
+            "g",
+            and4,
+            vec![
+                Fanin::wire(a),
+                Fanin::wire(b),
+                Fanin::wire(d_in),
+                Fanin::wire(a),
+            ],
+        );
+        c.set_fanin(g, 3, Fanin::registered(g, 1));
+        c.add_output("o", Fanin::wire(g));
+        let k2 = decompose_to_k(&c, 2);
+        assert!(k2.is_k_bounded(2));
+        assert!(k2.validate().is_ok());
+        sequential_equiv_by_simulation(&c, &k2, 64, 8, 4, 5).expect("equivalent");
+    }
+
+    #[test]
+    fn dummy_inputs_are_dropped() {
+        // A 5-input gate that only depends on 2 inputs collapses to one gate.
+        let tt = TruthTable::from_fn(5, |i| (i & 1 == 1) && ((i >> 3) & 1 == 1));
+        let c = wide_gate_circuit(5, tt);
+        let d = decompose_to_k(&c, 2);
+        assert_eq!(d.gate_count(), 1);
+        combinational_equiv(&c, &d).expect("equivalent");
+    }
+}

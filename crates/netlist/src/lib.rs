@@ -1,0 +1,51 @@
+//! Sequential-circuit substrate for the TurboSYN FPGA-synthesis
+//! reproduction.
+//!
+//! A circuit is a retiming graph `G(V, E, W)` (Leiserson–Saxe): nodes are
+//! gates / primary inputs / primary outputs, edge weights count the
+//! flip-flops on each connection, and every gate carries an explicit
+//! [`tt::TruthTable`]. On top of that representation this crate provides:
+//!
+//! * [`circuit`] — construction, validation, statistics, and conversion to
+//!   the plain [`turbosyn_graph::Digraph`] the algorithms run on.
+//! * [`blif`] — reading and writing the BLIF interchange format used by
+//!   the MCNC / ISCAS'89 benchmark suites.
+//! * [`kbound`] — memoized Shannon decomposition of wide gates into
+//!   K-bounded networks (the paper's assumed preprocessing).
+//! * [`sim`] — cycle-accurate simulation with registers on edges.
+//! * [`equiv`] — BDD-based combinational equivalence and
+//!   simulation-based sequential equivalence modulo constant latency.
+//! * [`gen`] — deterministic benchmark generators standing in for the
+//!   paper's MCNC-FSM and ISCAS'89 suites, plus ground-truth circuits
+//!   (rings with known MDR ratio, the Figure 1 reconstruction).
+//!
+//! # Example
+//!
+//! ```
+//! use turbosyn_netlist::gen;
+//! use turbosyn_graph::cycle_ratio::max_cycle_ratio;
+//!
+//! // A loop of 4 gates over 2 registers has MDR ratio 2: no mapping-free
+//! // retiming/pipelining can clock it faster than 2 LUT delays.
+//! let ring = gen::ring(4, 2);
+//! let mdr = max_cycle_ratio(&ring.to_digraph(), &ring.delays()).expect("cyclic");
+//! assert_eq!(mdr.to_f64(), 2.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blif;
+pub mod circuit;
+pub mod dot;
+pub mod equiv;
+pub mod gen;
+pub mod kbound;
+pub mod opt;
+pub mod sim;
+pub mod stats;
+pub mod tt;
+pub mod vcd;
+
+pub use circuit::{Circuit, Fanin, NodeId, NodeKind};
+pub use tt::TruthTable;

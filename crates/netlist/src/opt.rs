@@ -1,0 +1,403 @@
+//! Technology-independent cleanup passes: constant propagation, gate
+//! specialization, and structural hashing.
+//!
+//! Real netlists (and BLIF imports) carry constant generators, gates with
+//! constant inputs, and duplicated structure. Mapping quality improves —
+//! and cut functions shrink — when these are folded first. All passes
+//! preserve cycle-accurate behaviour (checked by the test suite via
+//! co-simulation).
+//!
+//! Constants and registers interact: with zero-initialized registers, a
+//! registered constant-`false` signal is still constant `false`, but a
+//! registered constant-`true` is **not** (it reads `false` on the first
+//! cycles). [`propagate_constants`] therefore crosses registered edges
+//! only for the `false` constant.
+
+use crate::circuit::{Circuit, Fanin, NodeId, NodeKind};
+use crate::tt::TruthTable;
+use std::collections::HashMap;
+
+/// Lattice value for constant propagation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Value {
+    Unknown,
+    Const(bool),
+}
+
+/// Folds constant gates and specializes gates with constant inputs.
+/// Returns the rewritten circuit and the number of gates eliminated or
+/// specialized.
+///
+/// # Panics
+///
+/// Panics if the circuit is invalid.
+pub fn propagate_constants(c: &Circuit) -> (Circuit, usize) {
+    c.validate().expect("circuit must be valid");
+    let n = c.node_count();
+    // Fixpoint dataflow over the (cyclic) circuit: start Unknown, gates
+    // with constant tables become Const, gates whose known inputs force
+    // the table become Const. Monotone (Unknown -> Const only), so it
+    // terminates.
+    let mut val = vec![Value::Unknown; n];
+    loop {
+        let mut changed = false;
+        for id in c.node_ids() {
+            let node = c.node(id);
+            let NodeKind::Gate(tt) = &node.kind else {
+                continue;
+            };
+            if val[id.index()] != Value::Unknown {
+                continue;
+            }
+            // Restrict the table by every known input.
+            let mut cur = tt.clone();
+            let mut all_known = true;
+            for (i, f) in node.fanins.iter().enumerate() {
+                let known = match val[f.source.index()] {
+                    Value::Const(b) => {
+                        // Crossing registers: only `false` survives the
+                        // zero-initialized start-up.
+                        if f.weight == 0 || !b {
+                            Some(b)
+                        } else {
+                            None
+                        }
+                    }
+                    Value::Unknown => None,
+                };
+                match known {
+                    Some(b) => cur = cur.cofactor(i as u8, b),
+                    None => all_known = false,
+                }
+            }
+            let folded = cur.is_constant();
+            if let Some(b) = folded {
+                val[id.index()] = Value::Const(b);
+                changed = true;
+            } else if all_known {
+                unreachable!("fully known inputs must fold");
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Rewrite: constant gates become shared 0-ary constant gates; other
+    // gates are specialized (constant inputs dropped).
+    let mut out = Circuit::new(c.name().to_string());
+    let mut map: HashMap<usize, NodeId> = HashMap::new();
+    let mut const_nodes: [Option<NodeId>; 2] = [None, None];
+    let mut touched = 0usize;
+
+    for &pi in c.inputs() {
+        map.insert(pi.index(), out.add_input(c.node(pi).name.clone()));
+    }
+    // Kept original fanin slots per surviving gate, for the wiring pass.
+    let mut keep_table: HashMap<usize, Vec<usize>> = HashMap::new();
+    // First create nodes (placeholders), wiring after (feedback).
+    for id in c.node_ids() {
+        let node = c.node(id);
+        let NodeKind::Gate(tt) = &node.kind else {
+            continue;
+        };
+        if let Value::Const(b) = val[id.index()] {
+            let slot = usize::from(b);
+            let cn = *const_nodes[slot].get_or_insert_with(|| {
+                out.add_gate(
+                    format!("__const{}", u8::from(b)),
+                    TruthTable::constant(0, b),
+                    vec![],
+                )
+            });
+            map.insert(id.index(), cn);
+            touched += 1;
+            continue;
+        }
+        // Which inputs stay?
+        let keep: Vec<usize> = node
+            .fanins
+            .iter()
+            .enumerate()
+            .filter(
+                |(_, f)| !matches!(val[f.source.index()], Value::Const(b) if f.weight == 0 || !b),
+            )
+            .map(|(i, _)| i)
+            .collect();
+        let new_tt = if keep.len() == node.fanins.len() {
+            tt.clone()
+        } else {
+            touched += 1;
+            let mut cur = tt.clone();
+            for (i, f) in node.fanins.iter().enumerate() {
+                if !keep.contains(&i) {
+                    let Value::Const(b) = val[f.source.index()] else {
+                        unreachable!()
+                    };
+                    cur = cur.cofactor(i as u8, b);
+                }
+            }
+            cur.project(&keep.iter().map(|&i| i as u8).collect::<Vec<_>>())
+        };
+        let ph = vec![Fanin::wire(NodeId::from_index(0)); new_tt.nvars() as usize];
+        let gid = out.add_gate(node.name.clone(), new_tt, ph);
+        map.insert(id.index(), gid);
+        // Record the kept original slots for the wiring pass.
+        keep_table.insert(id.index(), keep);
+    }
+    // Wire.
+    for id in c.node_ids() {
+        let node = c.node(id);
+        if !matches!(node.kind, NodeKind::Gate(_)) || matches!(val[id.index()], Value::Const(_)) {
+            continue;
+        }
+        let gid = map[&id.index()];
+        for (slot, &orig_slot) in keep_table[&id.index()].iter().enumerate() {
+            let f = node.fanins[orig_slot];
+            out.set_fanin(
+                gid,
+                slot,
+                Fanin::registered(map[&f.source.index()], f.weight),
+            );
+        }
+    }
+    for &po in c.outputs() {
+        let f = c.node(po).fanins[0];
+        out.add_output(
+            c.node(po).name.clone(),
+            Fanin::registered(map[&f.source.index()], f.weight),
+        );
+    }
+    (out, touched)
+}
+
+/// Merges structurally identical gates (same function, same ordered fanin
+/// list). Iterates to a fixpoint; returns the rewritten circuit and the
+/// number of gates merged away.
+///
+/// # Panics
+///
+/// Panics if the circuit is invalid.
+pub fn strash(c: &Circuit) -> (Circuit, usize) {
+    c.validate().expect("circuit must be valid");
+    let mut cur = c.clone();
+    let mut total = 0usize;
+    // Structural signature: (table bits, arity, ordered fanins).
+    type Signature = (Vec<u64>, u8, Vec<(usize, u32)>);
+    loop {
+        // Representative per (tt, fanins) signature.
+        let mut sig: HashMap<Signature, NodeId> = HashMap::new();
+        let mut replace: HashMap<usize, NodeId> = HashMap::new();
+        for id in cur.gates() {
+            let node = cur.node(id);
+            let NodeKind::Gate(tt) = &node.kind else {
+                unreachable!()
+            };
+            let key = (
+                tt.bits().to_vec(),
+                tt.nvars(),
+                node.fanins
+                    .iter()
+                    .map(|f| (f.source.index(), f.weight))
+                    .collect::<Vec<_>>(),
+            );
+            match sig.entry(key) {
+                std::collections::hash_map::Entry::Occupied(rep) => {
+                    replace.insert(id.index(), *rep.get());
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(id);
+                }
+            }
+        }
+        if replace.is_empty() {
+            return (cur, total);
+        }
+        total += replace.len();
+        // Rewrite referencing the representatives; dropped gates vanish.
+        let mut out = Circuit::new(cur.name().to_string());
+        let mut map: HashMap<usize, NodeId> = HashMap::new();
+        for &pi in cur.inputs() {
+            map.insert(pi.index(), out.add_input(cur.node(pi).name.clone()));
+        }
+        for id in cur.gates() {
+            if replace.contains_key(&id.index()) {
+                continue;
+            }
+            let node = cur.node(id);
+            let NodeKind::Gate(tt) = &node.kind else {
+                unreachable!()
+            };
+            let ph = vec![Fanin::wire(NodeId::from_index(0)); node.fanins.len()];
+            map.insert(id.index(), out.add_gate(node.name.clone(), tt.clone(), ph));
+        }
+        let resolve = |idx: usize, replace: &HashMap<usize, NodeId>| -> usize {
+            match replace.get(&idx) {
+                Some(rep) => rep.index(),
+                None => idx,
+            }
+        };
+        for id in cur.gates() {
+            if replace.contains_key(&id.index()) {
+                continue;
+            }
+            let node = cur.node(id).clone();
+            let gid = map[&id.index()];
+            for (slot, f) in node.fanins.iter().enumerate() {
+                let src = resolve(f.source.index(), &replace);
+                out.set_fanin(gid, slot, Fanin::registered(map[&src], f.weight));
+            }
+        }
+        for &po in cur.outputs() {
+            let f = cur.node(po).fanins[0];
+            let src = resolve(f.source.index(), &replace);
+            out.add_output(
+                cur.node(po).name.clone(),
+                Fanin::registered(map[&src], f.weight),
+            );
+        }
+        cur = out;
+    }
+}
+
+/// Convenience: constants then strash, to a combined fixpoint.
+pub fn optimize(c: &Circuit) -> (Circuit, usize) {
+    let (c1, a) = propagate_constants(c);
+    let (c2, b) = strash(&c1);
+    (c2, a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equiv::sequential_equiv_by_simulation;
+    use crate::gen;
+
+    #[test]
+    fn folds_constant_cone() {
+        let mut c = Circuit::new("consts");
+        let a = c.add_input("a");
+        let zero = c.add_gate("zero", TruthTable::constant(0, false), vec![]);
+        // g = a AND 0 = 0; h = g OR a = a.
+        let g = c.add_gate(
+            "g",
+            TruthTable::and2(),
+            vec![Fanin::wire(a), Fanin::wire(zero)],
+        );
+        let h = c.add_gate("h", TruthTable::or2(), vec![Fanin::wire(g), Fanin::wire(a)]);
+        c.add_output("o", Fanin::wire(h));
+        let (opt, touched) = propagate_constants(&c);
+        assert!(touched >= 2, "g folds, h specializes");
+        assert!(opt.validate().is_ok());
+        sequential_equiv_by_simulation(&c, &opt, 32, 0, 0, 1).expect("equivalent");
+        // h became a buffer of a.
+        let hn = opt.find("h").expect("kept");
+        assert_eq!(opt.node(hn).fanins.len(), 1);
+    }
+
+    #[test]
+    fn registered_true_not_propagated() {
+        let mut c = Circuit::new("regtrue");
+        let one = c.add_gate("one", TruthTable::constant(0, true), vec![]);
+        // g reads constant-1 through a register: first cycle it sees 0.
+        let g = c.add_gate("g", TruthTable::buf(), vec![Fanin::registered(one, 1)]);
+        c.add_output("o", Fanin::wire(g));
+        let (opt, _) = propagate_constants(&c);
+        sequential_equiv_by_simulation(&c, &opt, 32, 0, 0, 1).expect("equivalent");
+        // g must NOT have been folded to constant 1.
+        let gn = opt.find("g").expect("kept");
+        assert_eq!(opt.node(gn).fanins.len(), 1, "g survives with its register");
+    }
+
+    #[test]
+    fn registered_false_is_propagated() {
+        let mut c = Circuit::new("regfalse");
+        let a = c.add_input("a");
+        let zero = c.add_gate("zero", TruthTable::constant(0, false), vec![]);
+        let g = c.add_gate(
+            "g",
+            TruthTable::or2(),
+            vec![Fanin::registered(zero, 2), Fanin::wire(a)],
+        );
+        c.add_output("o", Fanin::wire(g));
+        let (opt, touched) = propagate_constants(&c);
+        assert!(touched >= 1);
+        sequential_equiv_by_simulation(&c, &opt, 32, 0, 0, 1).expect("equivalent");
+        let gn = opt.find("g").expect("kept");
+        assert_eq!(opt.node(gn).fanins.len(), 1, "zero input dropped");
+    }
+
+    #[test]
+    fn strash_merges_duplicates() {
+        let mut c = Circuit::new("dup");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g1 = c.add_gate(
+            "g1",
+            TruthTable::and2(),
+            vec![Fanin::wire(a), Fanin::wire(b)],
+        );
+        let g2 = c.add_gate(
+            "g2",
+            TruthTable::and2(),
+            vec![Fanin::wire(a), Fanin::wire(b)],
+        );
+        // x depends on both copies: after strash they collapse and x's
+        // own signature becomes XOR(g, g).
+        let x = c.add_gate(
+            "x",
+            TruthTable::xor2(),
+            vec![Fanin::wire(g1), Fanin::wire(g2)],
+        );
+        c.add_output("o", Fanin::wire(x));
+        let (opt, merged) = strash(&c);
+        assert_eq!(merged, 1);
+        assert!(opt.validate().is_ok());
+        sequential_equiv_by_simulation(&c, &opt, 32, 0, 0, 1).expect("equivalent");
+        assert_eq!(opt.gate_count(), 2);
+    }
+
+    #[test]
+    fn strash_respects_weights() {
+        let mut c = Circuit::new("w");
+        let a = c.add_input("a");
+        let g1 = c.add_gate("g1", TruthTable::buf(), vec![Fanin::registered(a, 1)]);
+        let g2 = c.add_gate("g2", TruthTable::buf(), vec![Fanin::registered(a, 2)]);
+        c.add_output("o1", Fanin::wire(g1));
+        c.add_output("o2", Fanin::wire(g2));
+        let (opt, merged) = strash(&c);
+        assert_eq!(merged, 0, "different weights must not merge");
+        assert_eq!(opt.gate_count(), 2);
+    }
+
+    #[test]
+    fn optimize_is_idempotent_on_suite_circuit() {
+        let c = gen::fsm(gen::FsmConfig {
+            state_bits: 3,
+            inputs: 3,
+            outputs: 2,
+            depth: 3,
+            seed: 5,
+        });
+        let (o1, _) = optimize(&c);
+        sequential_equiv_by_simulation(&c, &o1, 48, 0, 0, 2).expect("equivalent");
+        let (o2, n2) = optimize(&o1);
+        assert_eq!(n2, 0, "second pass finds nothing");
+        assert_eq!(o1.gate_count(), o2.gate_count());
+    }
+
+    #[test]
+    fn optimized_circuit_still_maps() {
+        let c = gen::fsm(gen::FsmConfig {
+            state_bits: 2,
+            inputs: 3,
+            outputs: 2,
+            depth: 3,
+            seed: 9,
+        });
+        let (opt, _) = optimize(&c);
+        assert!(opt.validate().is_ok());
+        // Constants introduce 0-ary gates; they are K-bounded for any K.
+        assert!(opt.is_k_bounded(4));
+    }
+}

@@ -1,0 +1,284 @@
+//! Cycle-accurate simulation of sequential circuits.
+//!
+//! Registers live on edges (the retiming-graph view), so the simulator
+//! keeps, for every node, a short rolling history of its past values: a
+//! fanin with weight `w` reads the driver's value from `w` cycles ago.
+//! All registers initialize to `false`.
+
+use crate::circuit::{Circuit, NodeKind};
+use turbosyn_graph::topo::topo_sort_zero_weight;
+
+/// A stepping simulator borrowed from a circuit.
+///
+/// # Example
+///
+/// ```
+/// use turbosyn_netlist::circuit::{Circuit, Fanin};
+/// use turbosyn_netlist::tt::TruthTable;
+/// use turbosyn_netlist::sim::Simulator;
+///
+/// // q' = q XOR en : a toggle flip-flop.
+/// let mut c = Circuit::new("toggle");
+/// let en = c.add_input("en");
+/// let q = c.add_gate("q_next", TruthTable::xor2(), vec![Fanin::wire(en), Fanin::wire(en)]);
+/// c.set_fanin(q, 1, Fanin::registered(q, 1));
+/// c.add_output("q", Fanin::wire(q));
+///
+/// let mut sim = Simulator::new(&c).expect("well-formed circuit");
+/// assert_eq!(sim.step(&[true]), vec![true]);  // 0 ^ 1
+/// assert_eq!(sim.step(&[true]), vec![false]); // 1 ^ 1
+/// assert_eq!(sim.step(&[false]), vec![false]);
+/// assert_eq!(sim.step(&[true]), vec![true]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator<'a> {
+    circuit: &'a Circuit,
+    /// Zero-weight topological order over node indices.
+    order: Vec<usize>,
+    /// Ring buffer of past values per node; slot `t % window`.
+    history: Vec<Vec<bool>>,
+    window: usize,
+    cycle: usize,
+}
+
+impl<'a> Simulator<'a> {
+    /// Prepares a simulator; fails if the circuit has a combinational
+    /// cycle or malformed nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the circuit's validation error.
+    pub fn new(circuit: &'a Circuit) -> Result<Self, crate::circuit::CircuitError> {
+        circuit.validate()?;
+        let g = circuit.to_digraph();
+        let order = topo_sort_zero_weight(&g).expect("validated circuit has no comb cycle");
+        let max_w = circuit
+            .node_ids()
+            .flat_map(|id| circuit.node(id).fanins.iter().map(|f| f.weight))
+            .max()
+            .unwrap_or(0) as usize;
+        let window = max_w + 1;
+        Ok(Simulator {
+            circuit,
+            order,
+            history: vec![vec![false; window]; circuit.node_count()],
+            window,
+            cycle: 0,
+        })
+    }
+
+    /// Number of cycles simulated so far.
+    pub fn cycle(&self) -> usize {
+        self.cycle
+    }
+
+    /// Resets to cycle 0 with all registers cleared.
+    pub fn reset(&mut self) {
+        for h in &mut self.history {
+            h.iter_mut().for_each(|b| *b = false);
+        }
+        self.cycle = 0;
+    }
+
+    /// Advances one clock cycle with the given primary-input values (in
+    /// [`Circuit::inputs`] order) and returns the primary-output values
+    /// (in [`Circuit::outputs`] order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the circuit's input count.
+    pub fn step(&mut self, inputs: &[bool]) -> Vec<bool> {
+        let c = self.circuit;
+        assert_eq!(
+            inputs.len(),
+            c.inputs().len(),
+            "input vector arity mismatch"
+        );
+        let t = self.cycle;
+        let slot = t % self.window;
+
+        // Write PI values first.
+        for (pi, &val) in c.inputs().iter().zip(inputs) {
+            self.history[pi.index()][slot] = val;
+        }
+
+        // Evaluate in zero-weight topological order: by the time a node is
+        // evaluated, all its weight-0 fanins have current-cycle values;
+        // weighted fanins read history.
+        for &vi in &self.order {
+            let node = c.node(crate::circuit::NodeId::from_index(vi));
+            let read = |f: &crate::circuit::Fanin| -> bool {
+                let w = f.weight as usize;
+                if w > t {
+                    false // register initial value
+                } else {
+                    self.history[f.source.index()][(t - w) % self.window]
+                }
+            };
+            let val = match &node.kind {
+                NodeKind::Input => continue,
+                NodeKind::Output => read(&node.fanins[0]),
+                NodeKind::Gate(tt) => {
+                    let mut idx = 0u32;
+                    for (i, f) in node.fanins.iter().enumerate() {
+                        idx |= u32::from(read(f)) << i;
+                    }
+                    tt.eval(idx)
+                }
+            };
+            self.history[vi][slot] = val;
+        }
+
+        self.cycle += 1;
+        c.outputs()
+            .iter()
+            .map(|po| self.history[po.index()][slot])
+            .collect()
+    }
+
+    /// Runs a whole input sequence (`seq[t]` is the input vector at cycle
+    /// `t`) and collects the output sequence.
+    pub fn run(&mut self, seq: &[Vec<bool>]) -> Vec<Vec<bool>> {
+        seq.iter().map(|iv| self.step(iv)).collect()
+    }
+
+    /// Like [`Simulator::step`], but returns the value of **every** node
+    /// this cycle (indexed like circuit nodes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the circuit's input count.
+    pub fn step_all(&mut self, inputs: &[bool]) -> Vec<bool> {
+        let slot = self.cycle % self.window;
+        self.step(inputs);
+        self.history.iter().map(|h| h[slot]).collect()
+    }
+}
+
+/// Simulates `c` over `stim` and returns the full signal trace:
+/// `trace[t][node]` is the value of every node at cycle `t`.
+///
+/// # Panics
+///
+/// Panics if the circuit is invalid or a stimulus vector has the wrong
+/// arity.
+pub fn trace(c: &Circuit, stim: &[Vec<bool>]) -> Vec<Vec<bool>> {
+    let mut sim = Simulator::new(c).expect("circuit must be valid");
+    stim.iter().map(|iv| sim.step_all(iv)).collect()
+}
+
+/// Generates `cycles` random input vectors for `circuit` from `seed`
+/// (deterministic).
+pub fn random_stimulus(circuit: &Circuit, cycles: usize, seed: u64) -> Vec<Vec<bool>> {
+    use rand::prelude::*;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..cycles)
+        .map(|_| (0..circuit.inputs().len()).map(|_| rng.random()).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::{Circuit, Fanin};
+    use crate::tt::TruthTable;
+
+    /// 2-bit counter made of toggles: q0 toggles every cycle, q1 toggles
+    /// when q0 was 1.
+    fn counter2() -> Circuit {
+        let mut c = Circuit::new("counter2");
+        // q0' = NOT q0(prev)
+        let q0 = c.add_gate(
+            "q0",
+            TruthTable::inv(),
+            vec![Fanin::wire(crate::circuit::NodeId::from_index(0))],
+        );
+        c.set_fanin(q0, 0, Fanin::registered(q0, 1));
+        // q1' = q1(prev) XOR q0(prev)
+        let q1 = c.add_gate(
+            "q1",
+            TruthTable::xor2(),
+            vec![Fanin::registered(q0, 1), Fanin::wire(q0)],
+        );
+        c.set_fanin(q1, 1, Fanin::registered(q1, 1));
+        c.add_output("b0", Fanin::wire(q0));
+        c.add_output("b1", Fanin::wire(q1));
+        c
+    }
+
+    #[test]
+    fn counter_counts() {
+        let c = counter2();
+        let mut sim = Simulator::new(&c).expect("valid");
+        let mut seen = Vec::new();
+        for _ in 0..6 {
+            let out = sim.step(&[]);
+            let value = u8::from(out[0]) + 2 * u8::from(out[1]);
+            seen.push(value);
+        }
+        // q0 starts at 0 so first computed value is 1; the counter visits
+        // 1,2,3,0,1,2 ...
+        assert_eq!(seen, vec![1, 2, 3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn shift_register_delays() {
+        let mut c = Circuit::new("shift");
+        let a = c.add_input("a");
+        let g = c.add_gate("g", TruthTable::buf(), vec![Fanin::registered(a, 3)]);
+        c.add_output("o", Fanin::wire(g));
+        let mut sim = Simulator::new(&c).expect("valid");
+        let seq: Vec<Vec<bool>> = [true, false, true, true, false, false, true]
+            .iter()
+            .map(|&b| vec![b])
+            .collect();
+        let outs = sim.run(&seq);
+        let got: Vec<bool> = outs.iter().map(|o| o[0]).collect();
+        // First 3 cycles: initial register contents (false), then the
+        // input delayed by 3.
+        assert_eq!(got, vec![false, false, false, true, false, true, true]);
+    }
+
+    #[test]
+    fn combinational_passthrough() {
+        let mut c = Circuit::new("comb");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g = c.add_gate(
+            "g",
+            TruthTable::and2(),
+            vec![Fanin::wire(a), Fanin::wire(b)],
+        );
+        c.add_output("o", Fanin::wire(g));
+        let mut sim = Simulator::new(&c).expect("valid");
+        assert_eq!(sim.step(&[true, true]), vec![true]);
+        assert_eq!(sim.step(&[true, false]), vec![false]);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let c = counter2();
+        let mut sim = Simulator::new(&c).expect("valid");
+        let first: Vec<_> = (0..4).map(|_| sim.step(&[])).collect();
+        sim.reset();
+        let second: Vec<_> = (0..4).map(|_| sim.step(&[])).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn stimulus_is_deterministic() {
+        let c = counter2();
+        assert_eq!(random_stimulus(&c, 5, 9), random_stimulus(&c, 5, 9));
+    }
+
+    #[test]
+    fn output_directly_from_registered_pi() {
+        let mut c = Circuit::new("po_reg");
+        let a = c.add_input("a");
+        c.add_output("o", Fanin::registered(a, 1));
+        let mut sim = Simulator::new(&c).expect("valid");
+        assert_eq!(sim.step(&[true]), vec![false]);
+        assert_eq!(sim.step(&[false]), vec![true]);
+        assert_eq!(sim.step(&[false]), vec![false]);
+    }
+}

@@ -1,0 +1,126 @@
+//! Circuit statistics for reporting.
+
+use crate::circuit::Circuit;
+use std::fmt;
+use turbosyn_graph::scc::condensation;
+use turbosyn_graph::topo::zero_weight_depths;
+
+/// A structural summary of a circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitStats {
+    /// Primary input count.
+    pub inputs: usize,
+    /// Primary output count.
+    pub outputs: usize,
+    /// Gate/LUT count.
+    pub gates: usize,
+    /// Edge-by-edge register count.
+    pub registers: u64,
+    /// Register count with maximal output sharing.
+    pub registers_shared: u64,
+    /// `histogram[k]` = number of gates with `k` fanins.
+    pub arity_histogram: Vec<usize>,
+    /// Longest register-free path delay (clock period as built).
+    pub depth: i64,
+    /// Number of nontrivial (cyclic) SCCs.
+    pub cyclic_sccs: usize,
+    /// Size of the largest SCC.
+    pub largest_scc: usize,
+}
+
+impl CircuitStats {
+    /// Gathers statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has a combinational cycle.
+    pub fn of(c: &Circuit) -> Self {
+        let g = c.to_digraph();
+        let depth = zero_weight_depths(&g, &c.delays())
+            .expect("combinational cycle")
+            .into_iter()
+            .max()
+            .unwrap_or(0);
+        let mut arity_histogram = Vec::new();
+        for id in c.gates() {
+            let a = c.node(id).fanins.len();
+            if arity_histogram.len() <= a {
+                arity_histogram.resize(a + 1, 0);
+            }
+            arity_histogram[a] += 1;
+        }
+        let cond = condensation(&g);
+        let cyclic: Vec<usize> = (0..cond.count())
+            .filter(|&i| cond.is_cyclic(&g, i))
+            .map(|i| cond.members[i].len())
+            .collect();
+        CircuitStats {
+            inputs: c.inputs().len(),
+            outputs: c.outputs().len(),
+            gates: c.gate_count(),
+            registers: c.register_count(),
+            registers_shared: c.register_count_shared(),
+            arity_histogram,
+            depth,
+            cyclic_sccs: cyclic.len(),
+            largest_scc: cyclic.into_iter().max().unwrap_or(0),
+        }
+    }
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} PI, {} PO, {} gates, {} FFs (shared), depth {}, {} cyclic SCCs (largest {})",
+            self.inputs,
+            self.outputs,
+            self.gates,
+            self.registers_shared,
+            self.depth,
+            self.cyclic_sccs,
+            self.largest_scc
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn ring_stats() {
+        let s = CircuitStats::of(&gen::ring(4, 2));
+        assert_eq!(s.gates, 4);
+        assert_eq!(s.inputs, 1);
+        assert_eq!(s.outputs, 1);
+        assert_eq!(s.registers, 2);
+        assert_eq!(s.cyclic_sccs, 1);
+        assert_eq!(s.largest_scc, 4);
+        assert_eq!(s.arity_histogram, vec![0, 0, 4]);
+        assert!(s.to_string().contains("4 gates"));
+    }
+
+    #[test]
+    fn pipeline_stats_have_no_cycles() {
+        let s = CircuitStats::of(&gen::pipeline(3, 4, 1));
+        assert_eq!(s.cyclic_sccs, 0);
+        assert_eq!(s.largest_scc, 0);
+    }
+
+    #[test]
+    fn fsm_stats_are_consistent() {
+        let c = gen::fsm(gen::FsmConfig {
+            state_bits: 3,
+            inputs: 3,
+            outputs: 2,
+            depth: 4,
+            seed: 1,
+        });
+        let s = CircuitStats::of(&c);
+        assert_eq!(s.gates, c.gate_count());
+        assert!(s.cyclic_sccs >= 1);
+        assert_eq!(s.arity_histogram.iter().sum::<usize>(), s.gates);
+    }
+}

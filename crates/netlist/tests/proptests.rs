@@ -1,0 +1,147 @@
+//! Property-based tests for the netlist substrate.
+
+use proptest::prelude::*;
+use turbosyn_netlist::blif;
+use turbosyn_netlist::circuit::{Circuit, Fanin, NodeId};
+use turbosyn_netlist::equiv::{combinational_equiv, sequential_equiv_by_simulation};
+use turbosyn_netlist::gen;
+use turbosyn_netlist::kbound::decompose_to_k;
+use turbosyn_netlist::sim::Simulator;
+use turbosyn_netlist::tt::TruthTable;
+
+/// A random single-wide-gate circuit.
+fn wide_gate(bits: [u64; 2], n: u8) -> Circuit {
+    let tt = TruthTable::from_bits(n, &bits);
+    let mut c = Circuit::new("wide");
+    let ins: Vec<NodeId> = (0..n).map(|i| c.add_input(format!("i{i}"))).collect();
+    let g = c.add_gate("g", tt, ins.iter().map(|&i| Fanin::wire(i)).collect());
+    c.add_output("o", Fanin::wire(g));
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// K-bounding preserves combinational semantics for every K.
+    #[test]
+    fn kbound_preserves_function(bits in any::<[u64; 2]>(), k in 2usize..6) {
+        let c = wide_gate(bits, 7);
+        let d = decompose_to_k(&c, k);
+        prop_assert!(d.is_k_bounded(k));
+        prop_assert!(combinational_equiv(&c, &d).is_ok());
+    }
+
+    /// Truth-table column multiplicity agrees with the BDD package on
+    /// random functions and random bound sets.
+    #[test]
+    fn multiplicity_cross_check(bits in any::<u64>(), bound_mask in 1u8..31) {
+        let tt = TruthTable::from_bits(5, &[bits]);
+        let bound: Vec<u8> = (0..5).filter(|&v| (bound_mask >> v) & 1 == 1).collect();
+        prop_assume!(!bound.is_empty() && bound.len() < 5);
+        let mu_tt = tt.column_multiplicity(&bound);
+        let mut m = turbosyn_bdd::Manager::new();
+        let f = m.from_truth_table(5, tt.bits());
+        let bound32: Vec<u32> = bound.iter().map(|&b| b as u32).collect();
+        let mu_bdd = turbosyn_bdd::decompose::column_multiplicity(&mut m, f, &bound32);
+        prop_assert_eq!(mu_tt, mu_bdd);
+    }
+
+    /// BLIF round-trips preserve sequential behaviour on generated FSMs.
+    #[test]
+    fn blif_roundtrip_fsm(seed in 0u64..500) {
+        let c = gen::fsm(gen::FsmConfig {
+            state_bits: 3,
+            inputs: 3,
+            outputs: 2,
+            depth: 2,
+            seed,
+        });
+        let text = blif::write(&c);
+        let c2 = blif::parse(&text).expect("reparses");
+        prop_assert!(sequential_equiv_by_simulation(&c, &c2, 48, 6, 2, seed).is_ok());
+    }
+
+    /// The simulator is deterministic and reset really resets.
+    #[test]
+    fn simulation_deterministic(seed in 0u64..500) {
+        let c = gen::fsm(gen::FsmConfig {
+            state_bits: 3,
+            inputs: 2,
+            outputs: 2,
+            depth: 2,
+            seed,
+        });
+        let stim = turbosyn_netlist::sim::random_stimulus(&c, 20, seed);
+        let mut s1 = Simulator::new(&c).expect("valid");
+        let out1 = s1.run(&stim);
+        s1.reset();
+        let out2 = s1.run(&stim);
+        let mut s2 = Simulator::new(&c).expect("valid");
+        let out3 = s2.run(&stim);
+        prop_assert_eq!(&out1, &out2);
+        prop_assert_eq!(&out1, &out3);
+    }
+
+    /// Generated rings have the exact constructed MDR ratio.
+    #[test]
+    fn ring_mdr_exact(g in 1usize..12, r in 1usize..12) {
+        let c = gen::ring(g, r);
+        let mdr = turbosyn_graph::cycle_ratio::max_cycle_ratio(&c.to_digraph(), &c.delays())
+            .expect("cyclic");
+        prop_assert_eq!(mdr, turbosyn_graph::cycle_ratio::Ratio::new(g as i64, r as i64));
+    }
+
+    /// Every suite circuit simulates without panicking and validates.
+    #[test]
+    fn generators_always_valid(seed in 0u64..200, layers in 2usize..5, width in 2usize..10) {
+        let c = gen::iscas_like(gen::IscasConfig {
+            layers,
+            width,
+            inputs: 4,
+            outputs: 2,
+            feedback_pct: 15,
+            seed,
+        });
+        prop_assert!(c.validate().is_ok());
+        let stim = turbosyn_netlist::sim::random_stimulus(&c, 8, seed);
+        let mut sim = Simulator::new(&c).expect("valid");
+        let outs = sim.run(&stim);
+        prop_assert_eq!(outs.len(), 8);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The cleanup passes preserve cycle-accurate behaviour on random
+    /// FSM-class circuits.
+    #[test]
+    fn optimize_preserves_behaviour(seed in 0u64..1000) {
+        let c = gen::fsm(gen::FsmConfig {
+            state_bits: 2,
+            inputs: 3,
+            outputs: 2,
+            depth: 3,
+            seed,
+        });
+        let (o, _) = turbosyn_netlist::opt::optimize(&c);
+        prop_assert!(o.validate().is_ok());
+        prop_assert!(sequential_equiv_by_simulation(&c, &o, 48, 0, 0, seed).is_ok());
+        prop_assert!(o.gate_count() <= c.gate_count());
+    }
+
+    /// Symbolic bounded equivalence agrees with random co-simulation on
+    /// cleanup results (exact over all stimuli up to the bound).
+    #[test]
+    fn optimize_symbolically_exact(seed in 0u64..300) {
+        let c = gen::fsm(gen::FsmConfig {
+            state_bits: 2,
+            inputs: 2,
+            outputs: 1,
+            depth: 2,
+            seed,
+        });
+        let (o, _) = turbosyn_netlist::opt::optimize(&c);
+        prop_assert!(turbosyn_netlist::equiv::bounded_equiv_symbolic(&c, &o, 8).is_ok());
+    }
+}

@@ -1,0 +1,41 @@
+//! Leiserson–Saxe retiming, pipelining, and clock-period analysis for the
+//! TurboSYN FPGA-synthesis reproduction.
+//!
+//! The paper's central observation is that with retiming **and**
+//! pipelining available as post-processing, the clock period of a mapped
+//! circuit is bounded only by the maximum delay-to-register (MDR) ratio of
+//! its loops — critical primary-input/output paths can always be fixed by
+//! pipelining, critical loops cannot. This crate provides the
+//! post-processing half of that story:
+//!
+//! * [`period`] — clock period as built, exact MDR ratio, and the
+//!   retiming+pipelining lower bound `max(1, ⌈MDR⌉)`.
+//! * [`retiming`] — pure retiming to the minimum period (I/O latency
+//!   preserved), and retiming with pipelining that reaches the MDR bound.
+//!
+//! # Example
+//!
+//! ```
+//! use turbosyn_netlist::gen;
+//! use turbosyn_retime::period::clock_period;
+//! use turbosyn_retime::retiming::retime_with_pipelining;
+//!
+//! // 6 XOR gates on a loop holding 3 registers: MDR ratio 2.
+//! let ring = gen::ring(6, 3);
+//! let before = clock_period(&ring);
+//! let result = retime_with_pipelining(&ring);
+//! assert!(result.period <= before);
+//! assert_eq!(result.period, 2); // = ceil(6/3)
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod minreg;
+pub mod period;
+pub mod retiming;
+pub mod wd;
+
+pub use minreg::min_register_retiming;
+pub use period::{clock_period, mdr_ratio, period_lower_bound};
+pub use retiming::{apply_retiming, min_period_retiming, retime_with_pipelining, RetimeResult};

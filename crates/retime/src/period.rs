@@ -1,0 +1,96 @@
+//! Clock-period and MDR-ratio analysis of sequential circuits.
+
+use turbosyn_graph::cycle_ratio::{max_cycle_ratio, MdrError, Ratio};
+use turbosyn_graph::topo::zero_weight_depths;
+use turbosyn_netlist::Circuit;
+
+/// The clock period of a circuit **as built** (no retiming): the largest
+/// total gate delay along any register-free path, under the unit delay
+/// model (each gate and LUT costs 1, I/O costs 0).
+///
+/// # Panics
+///
+/// Panics if the circuit has a combinational cycle (validate first).
+pub fn clock_period(c: &Circuit) -> i64 {
+    let g = c.to_digraph();
+    let depths =
+        zero_weight_depths(&g, &c.delays()).expect("circuit must be free of combinational cycles");
+    depths.into_iter().max().unwrap_or(0)
+}
+
+/// The maximum delay-to-register (MDR) ratio over all loops of the
+/// circuit — the quantity TurboSYN minimizes. With retiming **and**
+/// pipelining, the minimum achievable clock period is `max(1, ⌈MDR⌉)`
+/// for a cyclic circuit (1 for an acyclic one, since every LUT has unit
+/// delay).
+///
+/// # Errors
+///
+/// * [`MdrError::Acyclic`] for loop-free circuits (any period is
+///   reachable by pipelining).
+/// * [`MdrError::CombinationalCycle`] for broken circuits.
+pub fn mdr_ratio(c: &Circuit) -> Result<Ratio, MdrError> {
+    max_cycle_ratio(&c.to_digraph(), &c.delays())
+}
+
+/// The clock-period lower bound under retiming + pipelining:
+/// `max(1, ⌈MDR⌉)` for cyclic circuits, `1` for acyclic ones (assuming at
+/// least one gate).
+///
+/// # Panics
+///
+/// Panics if the circuit has a combinational cycle.
+pub fn period_lower_bound(c: &Circuit) -> i64 {
+    match mdr_ratio(c) {
+        Ok(r) => r.ceil().max(1),
+        Err(MdrError::Acyclic) => i64::from(c.gate_count() > 0),
+        Err(MdrError::CombinationalCycle) => {
+            panic!("circuit has a combinational cycle")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbosyn_netlist::gen;
+
+    #[test]
+    fn ring_period_and_mdr() {
+        let c = gen::ring(4, 2);
+        // As built the registers sit together, so some path crosses several
+        // gates; the period is between 2 and 4.
+        let p = clock_period(&c);
+        assert!((2..=4).contains(&p), "period {p}");
+        assert_eq!(mdr_ratio(&c).expect("cyclic"), Ratio::new(2, 1));
+        assert_eq!(period_lower_bound(&c), 2);
+    }
+
+    #[test]
+    fn fractional_mdr_ceils() {
+        let c = gen::ring(3, 2);
+        assert_eq!(mdr_ratio(&c).expect("cyclic"), Ratio::new(3, 2));
+        assert_eq!(period_lower_bound(&c), 2);
+    }
+
+    #[test]
+    fn acyclic_lower_bound_is_one() {
+        let c = gen::pipeline(3, 4, 1);
+        assert!(mdr_ratio(&c).is_err());
+        assert_eq!(period_lower_bound(&c), 1);
+    }
+
+    #[test]
+    fn pure_combinational_period_is_depth() {
+        use turbosyn_netlist::circuit::{Circuit, Fanin};
+        use turbosyn_netlist::tt::TruthTable;
+        let mut c = Circuit::new("chain");
+        let a = c.add_input("a");
+        let g1 = c.add_gate("g1", TruthTable::inv(), vec![Fanin::wire(a)]);
+        let g2 = c.add_gate("g2", TruthTable::inv(), vec![Fanin::wire(g1)]);
+        let g3 = c.add_gate("g3", TruthTable::inv(), vec![Fanin::wire(g2)]);
+        c.add_output("o", Fanin::wire(g3));
+        assert_eq!(clock_period(&c), 3);
+        assert_eq!(period_lower_bound(&c), 1);
+    }
+}

@@ -1,0 +1,39 @@
+//! Reproduce a slice of the paper's Table 1 interactively: run
+//! FlowSYN-s, TurboMap and TurboSYN on a few benchmark-suite circuits and
+//! print the clock-period (Φ) comparison.
+//!
+//! Run with `cargo run --release --example benchmark_table` — the full
+//! 16-row table is produced by `cargo run --release -p turbosyn-bench
+//! --bin exp_table1`.
+
+use turbosyn::{flowsyn_s, turbomap, turbosyn, MapOptions};
+use turbosyn_netlist::gen;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = MapOptions::default(); // K = 5, as in the paper
+    println!(
+        "{:10} {:>6} {:>4} | {:>10} {:>10} {:>10}",
+        "circuit", "gates", "FFs", "FlowSYN-s", "TurboMap", "TurboSYN"
+    );
+    let mut ratios = Vec::new();
+    for bench in gen::suite().into_iter().take(4) {
+        let c = &bench.circuit;
+        let fs = flowsyn_s(c, &opts)?;
+        let tm = turbomap(c, &opts)?;
+        let ts = turbosyn(c, &opts)?;
+        println!(
+            "{:10} {:>6} {:>4} | {:>10} {:>10} {:>10}",
+            bench.name,
+            c.gate_count(),
+            c.register_count_shared(),
+            fs.phi,
+            tm.phi,
+            ts.phi
+        );
+        ratios.push(tm.phi as f64 / ts.phi as f64);
+    }
+    let geomean = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+    println!("\nTurboMap / TurboSYN clock-period ratio (geomean): {geomean:.2}x");
+    println!("(the paper reports 1.96x over its full benchmark set)");
+    Ok(())
+}

@@ -1,0 +1,95 @@
+//! Explore the retiming/pipelining substrate on its own: how register
+//! placement, retiming, and pipelining interact with the MDR bound.
+//!
+//! Run with `cargo run --example retiming_playground`.
+
+use turbosyn_netlist::circuit::{Circuit, Fanin};
+use turbosyn_netlist::gen;
+use turbosyn_netlist::tt::TruthTable;
+use turbosyn_retime::{
+    clock_period, mdr_ratio, min_period_retiming, period_lower_bound, retime_with_pipelining,
+};
+
+/// A ring with all `regs` registers bunched on one edge — the worst
+/// starting placement, so retiming has real work to do.
+fn bunched_ring(gates: usize, regs: u32) -> Circuit {
+    let mut c = Circuit::new(format!("bunched_{gates}_{regs}"));
+    let pi = c.add_input("in");
+    let ids: Vec<_> = (0..gates)
+        .map(|g| {
+            c.add_gate(
+                format!("r{g}"),
+                TruthTable::xor2(),
+                vec![Fanin::wire(pi), Fanin::wire(pi)],
+            )
+        })
+        .collect();
+    for g in 0..gates {
+        let prev = ids[(g + gates - 1) % gates];
+        let w = if g == 0 { regs } else { 0 };
+        c.set_fanin(ids[g], 1, Fanin::registered(prev, w));
+    }
+    c.add_output("out", Fanin::wire(ids[gates - 1]));
+    c
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Every ring gate also taps the primary input directly, so pure
+    // retiming (pinned I/O) cannot move registers past those taps at all —
+    // only pipelining (output lag) frees the loop to balance. Watch the
+    // "retimed" column stay put while "retimed+pipelined" hits the MDR
+    // bound.
+    println!("== rings with all registers bunched on one edge ==");
+    for (gates, regs) in [(6usize, 1u32), (6, 2), (6, 3), (6, 6)] {
+        let ring = bunched_ring(gates, regs);
+        let built = clock_period(&ring);
+        let pure = min_period_retiming(&ring);
+        let piped = retime_with_pipelining(&ring);
+        println!(
+            "ring({gates},{regs}): MDR = {}, built = {built}, retimed = {}, retimed+pipelined = {}",
+            mdr_ratio(&ring)?,
+            pure.period,
+            piped.period
+        );
+        assert_eq!(piped.period, period_lower_bound(&ring));
+    }
+
+    println!("\n== a deep combinational chain: retiming helpless, pipelining wins ==");
+    let mut chain = Circuit::new("chain12");
+    let a = chain.add_input("a");
+    let mut prev = a;
+    for i in 0..12 {
+        prev = chain.add_gate(format!("g{i}"), TruthTable::inv(), vec![Fanin::wire(prev)]);
+    }
+    chain.add_output("o", Fanin::wire(prev));
+    let built = clock_period(&chain);
+    let pure = min_period_retiming(&chain);
+    let piped = retime_with_pipelining(&chain);
+    println!(
+        "chain of 12 inverters: built = {built}, retimed = {}, retimed+pipelined = {}",
+        pure.period, piped.period
+    );
+    assert_eq!(
+        piped.period, 1,
+        "acyclic circuits pipeline to one LUT level"
+    );
+
+    println!("\n== an FSM: the loops bound the clock no matter how hard we pipeline ==");
+    let fsm = gen::fsm(gen::FsmConfig {
+        state_bits: 4,
+        inputs: 4,
+        outputs: 2,
+        depth: 6,
+        seed: 7,
+    });
+    println!(
+        "fsm: {} gates, {} FFs, MDR = {}, built = {}, retimed+pipelined = {}",
+        fsm.gate_count(),
+        fsm.register_count_shared(),
+        mdr_ratio(&fsm)?,
+        clock_period(&fsm),
+        retime_with_pipelining(&fsm).period
+    );
+    println!("-> only *mapping/resynthesis* (TurboSYN) can go below this; see quickstart");
+    Ok(())
+}

@@ -1,0 +1,13 @@
+//! Umbrella crate for the TurboSYN reproduction workspace.
+//!
+//! This crate exists so that the workspace root can host runnable
+//! [examples](https://doc.rust-lang.org/cargo/guide/project-layout.html) and
+//! integration tests that span every member crate. It re-exports the member
+//! crates under short names; library users should depend on the individual
+//! crates (most importantly [`turbosyn`]) directly.
+
+pub use turbosyn;
+pub use turbosyn_bdd as bdd;
+pub use turbosyn_graph as graph;
+pub use turbosyn_netlist as netlist;
+pub use turbosyn_retime as retime;

@@ -1,0 +1,110 @@
+//! Cross-algorithm invariants: the three mappers must order correctly,
+//! agree under both stopping rules, and all verify.
+
+use turbosyn::{flowsyn_s, turbomap, turbosyn, MapOptions, StopRule};
+use turbosyn_netlist::gen;
+use turbosyn_retime::period_lower_bound;
+
+fn fsm(seed: u64, depth: usize) -> turbosyn_netlist::Circuit {
+    gen::fsm(gen::FsmConfig {
+        state_bits: 3,
+        inputs: 4,
+        outputs: 2,
+        depth,
+        seed,
+    })
+}
+
+#[test]
+fn turbosyn_at_most_turbomap() {
+    for seed in [1u64, 5, 9, 14] {
+        let c = fsm(seed, 4);
+        let opts = MapOptions::default();
+        let tm = turbomap(&c, &opts).expect("tm");
+        let ts = turbosyn(&c, &opts).expect("ts");
+        assert!(
+            ts.phi <= tm.phi,
+            "seed {seed}: TurboSYN {} must not lose to TurboMap {}",
+            ts.phi,
+            tm.phi
+        );
+    }
+}
+
+#[test]
+fn mapped_ratio_never_beats_gate_level_impossible() {
+    // phi can be below the *gate-level* MDR (that is the whole point of
+    // covering), but the clock period must match the *mapped* MDR bound.
+    for seed in [2u64, 8] {
+        let c = fsm(seed, 5);
+        let ts = turbosyn(&c, &MapOptions::default()).expect("ts");
+        assert!(ts.clock_period <= ts.phi);
+        let remapped_bound = period_lower_bound(&ts.mapped);
+        assert_eq!(ts.clock_period, remapped_bound.max(1));
+    }
+}
+
+#[test]
+fn stopping_rules_agree() {
+    for seed in [3u64, 11] {
+        let c = fsm(seed, 3);
+        let pld = turbomap(
+            &c,
+            &MapOptions {
+                stop: StopRule::Pld,
+                ..MapOptions::default()
+            },
+        )
+        .expect("pld");
+        let n2 = turbomap(
+            &c,
+            &MapOptions {
+                stop: StopRule::NSquared,
+                ..MapOptions::default()
+            },
+        )
+        .expect("n2");
+        assert_eq!(pld.phi, n2.phi, "seed {seed}");
+        // PLD does at most as much labeling work on infeasible probes.
+        assert!(pld.stats.sweeps <= n2.stats.sweeps, "seed {seed}");
+    }
+}
+
+#[test]
+fn flowsyn_s_is_a_valid_mapping() {
+    for seed in [4u64, 12] {
+        let c = fsm(seed, 4);
+        let fs = flowsyn_s(&c, &MapOptions::default()).expect("fs");
+        assert!(fs.phi >= 1);
+        assert!(fs.clock_period <= fs.phi);
+        assert!(fs.mapped.is_k_bounded(5));
+    }
+}
+
+#[test]
+fn k_sensitivity_is_monotone() {
+    // Larger K gives more covering freedom: the minimum ratio cannot grow.
+    let c = fsm(6, 4);
+    let mut last = i64::MAX;
+    for k in [4usize, 5, 6] {
+        let r = turbomap(&c, &MapOptions::with_k(k)).expect("maps");
+        assert!(r.phi <= last, "K={k}: {} vs previous {}", r.phi, last);
+        last = r.phi;
+    }
+}
+
+#[test]
+fn iscas_class_maps_at_scale() {
+    let c = gen::iscas_like(gen::IscasConfig {
+        layers: 6,
+        width: 30,
+        inputs: 10,
+        outputs: 4,
+        feedback_pct: 10,
+        seed: 33,
+    });
+    let opts = MapOptions::default();
+    let ts = turbosyn(&c, &opts).expect("maps");
+    assert!(ts.lut_count > 0 && ts.lut_count <= c.gate_count());
+    assert!(ts.clock_period <= ts.phi);
+}

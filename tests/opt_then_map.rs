@@ -1,0 +1,76 @@
+//! Pipeline composition: technology-independent cleanup (constant
+//! propagation + structural hashing) followed by mapping. The cleanup
+//! must preserve behaviour and never hurt the achievable clock period.
+
+use turbosyn::{turbosyn, MapOptions};
+use turbosyn_netlist::circuit::{Circuit, Fanin};
+use turbosyn_netlist::equiv::sequential_equiv_by_simulation;
+use turbosyn_netlist::gen;
+use turbosyn_netlist::opt::optimize;
+use turbosyn_netlist::tt::TruthTable;
+
+/// An FSM with planted redundancy: duplicated side gates and a constant
+/// chained into the loop.
+fn redundant_fsm() -> Circuit {
+    let base = gen::fsm(gen::FsmConfig {
+        state_bits: 3,
+        inputs: 3,
+        outputs: 2,
+        depth: 3,
+        seed: 31,
+    });
+    let mut c = base.clone();
+    // Plant a constant-false gate feeding a new OR that wraps one output.
+    let zero = c.add_gate("planted_zero", TruthTable::constant(0, false), vec![]);
+    let po = c.outputs()[0];
+    let drv = c.node(po).fanins[0];
+    let wrap = c.add_gate(
+        "planted_or",
+        TruthTable::or2(),
+        vec![Fanin::registered(drv.source, drv.weight), Fanin::wire(zero)],
+    );
+    c.set_fanin(po, 0, Fanin::wire(wrap));
+    // Plant a duplicate of an existing gate.
+    let some_gate = c.gates().next().expect("gates");
+    let node = c.node(some_gate).clone();
+    let turbosyn_netlist::NodeKind::Gate(tt) = node.kind else {
+        unreachable!()
+    };
+    let dup = c.add_gate("planted_dup", tt, node.fanins.clone());
+    let po2 = c.outputs()[1];
+    c.set_fanin(po2, 0, Fanin::wire(dup));
+    c
+}
+
+#[test]
+fn cleanup_preserves_behaviour_and_mapping() {
+    let c = redundant_fsm();
+    assert!(c.validate().is_ok());
+    let (clean, removed) = optimize(&c);
+    assert!(removed >= 1, "planted redundancy must be found");
+    sequential_equiv_by_simulation(&c, &clean, 64, 0, 0, 7).expect("cleanup is safe");
+
+    let opts = MapOptions::default();
+    let raw = turbosyn(&c, &opts).expect("maps raw");
+    let opt = turbosyn(&clean, &opts).expect("maps cleaned");
+    assert!(
+        opt.phi <= raw.phi,
+        "cleanup must not hurt the ratio: {} vs {}",
+        opt.phi,
+        raw.phi
+    );
+    assert!(
+        opt.lut_count <= raw.lut_count + 1,
+        "cleanup should not inflate area"
+    );
+}
+
+#[test]
+fn cleanup_is_stable_on_suite() {
+    for bench in gen::suite().into_iter().take(4) {
+        let (clean, _) = optimize(&bench.circuit);
+        assert!(clean.validate().is_ok(), "{}", bench.name);
+        sequential_equiv_by_simulation(&bench.circuit, &clean, 48, 0, 0, 5)
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+    }
+}

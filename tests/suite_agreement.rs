@@ -1,0 +1,35 @@
+//! Heavyweight validation: the PLD stopping rule and the conservative n²
+//! rule must find the same minimum ratio on every FSM-class suite row —
+//! these have SCCs well beyond the PLD isolation-persistence window, so
+//! this is the check that the capped window never declares a feasible φ
+//! infeasible.
+//!
+//! The n² arm is expensive, so the test is `#[ignore]`d by default; run
+//! it with `cargo test --release --test suite_agreement -- --ignored`.
+
+use turbosyn::{turbomap, turbosyn, MapOptions, StopRule};
+use turbosyn_netlist::gen::{suite, BenchClass};
+
+#[test]
+#[ignore = "n² arm is slow by design; run in release"]
+fn suite_pld_agrees_with_n_squared() {
+    for bench in suite() {
+        if bench.class != BenchClass::Fsm {
+            continue; // ISCAS rows make the n² arm intractable
+        }
+        let pld = MapOptions {
+            stop: StopRule::Pld,
+            ..MapOptions::default()
+        };
+        let n2 = MapOptions {
+            stop: StopRule::NSquared,
+            ..MapOptions::default()
+        };
+        let tm_p = turbomap(&bench.circuit, &pld).expect("maps");
+        let tm_n = turbomap(&bench.circuit, &n2).expect("maps");
+        assert_eq!(tm_p.phi, tm_n.phi, "{}: TurboMap disagrees", bench.name);
+        let ts_p = turbosyn(&bench.circuit, &pld).expect("maps");
+        let ts_n = turbosyn(&bench.circuit, &n2).expect("maps");
+        assert_eq!(ts_p.phi, ts_n.phi, "{}: TurboSYN disagrees", bench.name);
+    }
+}

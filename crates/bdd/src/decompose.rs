@@ -18,7 +18,7 @@
 //! equality, so `μ` is computed exactly by enumerating the `2^|B|` bound
 //! assignments (bound sets are at most LUT-sized, so this is cheap).
 
-use crate::{Bdd, Manager};
+use crate::{Bdd, BddError, Manager};
 
 /// Maximum bound-set size accepted by the routines in this module.
 /// `2^12` cofactor enumerations is comfortably fast and far beyond any
@@ -40,32 +40,42 @@ pub struct Decomposition {
     pub multiplicity: usize,
 }
 
+/// Validates a bound set: non-empty, at most [`MAX_BOUND`] variables, no
+/// duplicates.
+fn validate_bound(bound: &[u32]) -> Result<(), BddError> {
+    if bound.is_empty() {
+        return Err(BddError::InvalidBoundSet("bound set must be non-empty"));
+    }
+    if bound.len() > MAX_BOUND {
+        return Err(BddError::InvalidBoundSet("bound set larger than MAX_BOUND"));
+    }
+    let mut sorted = bound.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    if sorted.len() != bound.len() {
+        return Err(BddError::InvalidBoundSet("bound set contains duplicates"));
+    }
+    Ok(())
+}
+
 /// Computes the column multiplicity `μ(f, bound)`: the number of distinct
 /// cofactors of `f` over all assignments to the bound variables.
 ///
 /// # Panics
 ///
 /// Panics if `bound` is empty, longer than [`MAX_BOUND`], or contains
-/// duplicates.
+/// duplicates. (Every caller passes a statically well-formed bound set;
+/// the fallible entry point is [`decompose`].)
 pub fn column_multiplicity(m: &mut Manager, f: Bdd, bound: &[u32]) -> usize {
+    validate_bound(bound).expect("invalid bound set");
     cofactor_classes(m, f, bound).1
 }
 
 /// For every assignment `b` (indexed by bits: bit `j` of the index is the
 /// value of `bound[j]`), the class id of the cofactor `f|_{B=b}`, along
 /// with the class count and one representative cofactor per class.
+/// `bound` must already be validated.
 fn cofactor_classes(m: &mut Manager, f: Bdd, bound: &[u32]) -> (Vec<usize>, usize, Vec<Bdd>) {
-    assert!(!bound.is_empty(), "bound set must be non-empty");
-    assert!(
-        bound.len() <= MAX_BOUND,
-        "bound set larger than {MAX_BOUND}"
-    );
-    {
-        let mut sorted = bound.to_vec();
-        sorted.sort_unstable();
-        sorted.dedup();
-        assert_eq!(sorted.len(), bound.len(), "bound set contains duplicates");
-    }
     let count = 1usize << bound.len();
     let mut class_of = Vec::with_capacity(count);
     let mut reps: Vec<Bdd> = Vec::new();
@@ -90,36 +100,43 @@ fn cofactor_classes(m: &mut Manager, f: Bdd, bound: &[u32]) -> (Vec<usize>, usiz
 /// at most `wires` encoding functions. Fresh variables
 /// `fresh_base, fresh_base + 1, …` are used for the encoder outputs.
 ///
-/// Returns `None` if the column multiplicity exceeds `2^wires`.
+/// Returns `Ok(None)` if the column multiplicity exceeds `2^wires` (no
+/// decomposition with that many wires exists).
 ///
 /// The returned decomposition satisfies (and is `debug_assert`-checked to
 /// satisfy) `recompose(m, &dec) == f`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `bound` is invalid (see [`column_multiplicity`]), if
-/// `wires == 0` or `wires > 6`, or if any fresh variable collides with the
-/// support of `f`.
+/// [`BddError::InvalidBoundSet`] / [`BddError::InvalidWireCount`] /
+/// [`BddError::FreshVarCollision`] on malformed arguments, and
+/// [`BddError::NodeLimit`] if the manager's node ceiling is crossed while
+/// building encoders or the image (the caller should fall back to an
+/// unresynthesized realization).
 pub fn decompose(
     m: &mut Manager,
     f: Bdd,
     bound: &[u32],
     wires: usize,
     fresh_base: u32,
-) -> Option<Decomposition> {
-    assert!(wires > 0 && wires <= 6, "1..=6 encoding wires supported");
+) -> Result<Option<Decomposition>, BddError> {
+    if wires == 0 || wires > 6 {
+        return Err(BddError::InvalidWireCount(wires));
+    }
+    validate_bound(bound)?;
     let support = m.support(f);
     for w in 0..wires as u32 {
-        assert!(
-            !support.contains(&(fresh_base + w)),
-            "fresh variable {} collides with the support of f",
-            fresh_base + w
-        );
+        if support.contains(&(fresh_base + w)) {
+            return Err(BddError::FreshVarCollision {
+                var: fresh_base + w,
+            });
+        }
     }
 
+    m.check_budget()?;
     let (class_of, mu, reps) = cofactor_classes(m, f, bound);
     if mu > (1usize << wires) {
-        return None;
+        return Ok(None);
     }
     // How many wires are actually needed (at least 1 to keep the shape).
     let needed = usize::max(1, mu.next_power_of_two().trailing_zeros() as usize);
@@ -134,6 +151,7 @@ pub fn decompose(
     let mut encoders = vec![m.zero(); needed];
     let mut assign: Vec<(u32, bool)> = bound.iter().map(|&v| (v, false)).collect();
     for (b, &class) in class_of.iter().enumerate() {
+        m.check_budget()?;
         for (j, slot) in assign.iter_mut().enumerate() {
             slot.1 = (b >> j) & 1 == 1;
         }
@@ -155,6 +173,7 @@ pub fn decompose(
     let encoder_vars: Vec<u32> = (0..needed as u32).map(|j| fresh_base + j).collect();
     let mut image = m.zero();
     for code in 0..(1usize << needed) {
+        m.check_budget()?;
         let rep = reps[if code < mu { code } else { 0 }];
         let mut minterm = m.one();
         for (j, &zv) in encoder_vars.iter().enumerate() {
@@ -176,7 +195,7 @@ pub fn decompose(
         multiplicity: mu,
     };
     debug_assert_eq!(recompose(m, &dec), f, "decomposition must recompose to f");
-    Some(dec)
+    Ok(Some(dec))
 }
 
 /// Substitutes the encoders back into the image, recovering the original
@@ -190,10 +209,19 @@ pub fn recompose(m: &mut Manager, dec: &Decomposition) -> Bdd {
 }
 
 /// Convenience wrapper: Ashenhurst simple disjoint decomposition (one
-/// wire). Returns `(h, g, fresh_var)` with `f = g(F, z := h(B))`, or
-/// `None` when `μ(f, B) > 2`.
-pub fn ashenhurst(m: &mut Manager, f: Bdd, bound: &[u32], fresh_var: u32) -> Option<(Bdd, Bdd)> {
-    decompose(m, f, bound, 1, fresh_var).map(|d| (d.encoders[0], d.image))
+/// wire). Returns `(h, g)` with `f = g(F, z := h(B))`, or `Ok(None)` when
+/// `μ(f, B) > 2`.
+///
+/// # Errors
+///
+/// Same contract as [`decompose`].
+pub fn ashenhurst(
+    m: &mut Manager,
+    f: Bdd,
+    bound: &[u32],
+    fresh_var: u32,
+) -> Result<Option<(Bdd, Bdd)>, BddError> {
+    Ok(decompose(m, f, bound, 1, fresh_var)?.map(|d| (d.encoders[0], d.image)))
 }
 
 #[cfg(test)]
@@ -240,7 +268,9 @@ mod tests {
         let a01 = m.and(x0, x1);
         let a = m.and(a01, x2);
         let f = m.or(a, x3);
-        let (h, g) = ashenhurst(&mut m, f, &[0, 1, 2], 10).expect("decomposable");
+        let (h, g) = ashenhurst(&mut m, f, &[0, 1, 2], 10)
+            .expect("valid arguments")
+            .expect("decomposable");
         // h must be a function of x0..x2 only, g of {x3, z}.
         assert!(m.support(h).iter().all(|&v| v < 3));
         assert!(m.support(g).iter().all(|&v| v == 3 || v == 10));
@@ -260,7 +290,9 @@ mod tests {
         let t12 = m.and(x1, x2);
         let o = m.or(t01, t02);
         let f = m.or(o, t12);
-        assert!(ashenhurst(&mut m, f, &[0, 1], 10).is_none());
+        assert!(ashenhurst(&mut m, f, &[0, 1], 10)
+            .expect("valid arguments")
+            .is_none());
     }
 
     #[test]
@@ -274,7 +306,9 @@ mod tests {
         let t12 = m.and(x1, x2);
         let o = m.or(t01, t02);
         let f = m.or(o, t12);
-        let dec = decompose(&mut m, f, &[0, 1], 2, 10).expect("μ=3 <= 4");
+        let dec = decompose(&mut m, f, &[0, 1], 2, 10)
+            .expect("valid arguments")
+            .expect("μ=3 <= 4");
         assert_eq!(dec.multiplicity, 3);
         assert_eq!(dec.encoders.len(), 2);
         assert_eq!(recompose(&mut m, &dec), f);
@@ -291,7 +325,9 @@ mod tests {
         }
         for bound in [&[0u32, 1][..], &[2, 3, 4][..], &[0, 5][..]] {
             assert_eq!(column_multiplicity(&mut m, f, bound), 2, "bound {bound:?}");
-            let (h, g) = ashenhurst(&mut m, f, bound, 20).expect("parity decomposes");
+            let (h, g) = ashenhurst(&mut m, f, bound, 20)
+                .expect("valid arguments")
+                .expect("parity decomposes");
             let back = m.compose(g, 20, h);
             assert_eq!(back, f);
         }
@@ -302,7 +338,9 @@ mod tests {
         let mut m = Manager::new();
         let one = m.one();
         assert_eq!(column_multiplicity(&mut m, one, &[0, 1]), 1);
-        let dec = decompose(&mut m, one, &[0, 1], 1, 9).expect("trivially decomposable");
+        let dec = decompose(&mut m, one, &[0, 1], 1, 9)
+            .expect("valid arguments")
+            .expect("trivially decomposable");
         assert_eq!(dec.multiplicity, 1);
         assert_eq!(recompose(&mut m, &dec), one);
     }
@@ -316,33 +354,53 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "duplicates")]
     fn duplicate_bound_rejected() {
         let mut m = Manager::new();
         let x0 = m.var(0);
-        column_multiplicity(&mut m, x0, &[0, 0]);
+        let x1 = m.var(1);
+        let f = m.and(x0, x1);
+        let r = decompose(&mut m, f, &[0, 0], 1, 10);
+        assert!(matches!(r, Err(BddError::InvalidBoundSet(_))));
+        let r = decompose(&mut m, f, &[], 1, 10);
+        assert!(matches!(r, Err(BddError::InvalidBoundSet(_))));
+        let r = decompose(&mut m, f, &[0], 0, 10);
+        assert!(matches!(r, Err(BddError::InvalidWireCount(0))));
     }
 
     #[test]
-    #[should_panic(expected = "collides")]
     fn fresh_var_collision_rejected() {
         let mut m = Manager::new();
         let x0 = m.var(0);
         let x1 = m.var(1);
         let f = m.and(x0, x1);
-        let _ = decompose(&mut m, f, &[0], 1, 1);
+        let r = decompose(&mut m, f, &[0], 1, 1);
+        assert!(matches!(r, Err(BddError::FreshVarCollision { var: 1 })));
+    }
+
+    #[test]
+    fn node_ceiling_aborts_decomposition() {
+        let mut m = Manager::new();
+        // An 8-variable majority-ish function with a 6-variable bound set
+        // needs room for minterms and image terms; a tiny ceiling trips.
+        let mut f = m.zero();
+        for v in 0..8 {
+            let x = m.var(v);
+            f = m.xor(f, x);
+        }
+        m.set_node_limit(Some(m.len()));
+        let r = decompose(&mut m, f, &[0, 1, 2, 3, 4, 5], 1, 20);
+        assert!(matches!(r, Err(BddError::NodeLimit { .. })));
     }
 
     /// Random 5-variable functions: whenever decomposition succeeds,
     /// recomposition is exact, and μ matches a truth-table computation.
     #[test]
     fn random_functions_recompose() {
-        use rand::prelude::*;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut rng = turbosyn_graph::rng::StdRng::seed_from_u64(42);
         for _ in 0..50 {
             let tt: u64 = rng.random::<u64>() & 0xFFFF_FFFF; // 5 vars = 32 bits
             let mut m = Manager::new();
-            let f = m.from_truth_table(5, &[tt]);
+            let f = m.from_truth_table(5, &[tt]).expect("5 vars fits");
             let bound = [0u32, 1, 2];
             // Truth-table μ: distinct 4-bit column patterns over free vars {3,4}.
             let mut cols = std::collections::HashSet::new();
@@ -355,7 +413,7 @@ mod tests {
                 cols.insert(col);
             }
             assert_eq!(column_multiplicity(&mut m, f, &bound), cols.len());
-            if let Some(dec) = decompose(&mut m, f, &bound, 2, 16) {
+            if let Some(dec) = decompose(&mut m, f, &bound, 2, 16).expect("valid arguments") {
                 assert_eq!(recompose(&mut m, &dec), f);
                 assert!(dec.multiplicity <= 4);
             } else {

@@ -1,0 +1,66 @@
+//! Typed errors for the BDD package.
+
+use std::fmt;
+
+/// Errors surfaced by fallible BDD operations.
+///
+/// The package distinguishes *caller bugs* (malformed bound sets, colliding
+/// fresh variables) from *resource exhaustion* ([`BddError::NodeLimit`],
+/// [`BddError::TooManyVars`]). Resource exhaustion is an expected outcome
+/// on adversarial inputs: the synthesis engine catches it and degrades to a
+/// non-resynthesized mapping instead of aborting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BddError {
+    /// A truth-table conversion was asked for more variables than the flat
+    /// representation supports.
+    TooManyVars {
+        /// Requested variable count.
+        nvars: u32,
+        /// The largest supported count.
+        max: u32,
+    },
+    /// The manager grew past its configured node ceiling
+    /// ([`crate::Manager::set_node_limit`]).
+    NodeLimit {
+        /// Nodes currently in the manager.
+        nodes: usize,
+        /// The configured ceiling.
+        limit: usize,
+    },
+    /// A decomposition bound set was empty, too large, or contained
+    /// duplicates.
+    InvalidBoundSet(&'static str),
+    /// A fresh encoder variable collides with the support of the function
+    /// being decomposed.
+    FreshVarCollision {
+        /// The colliding variable.
+        var: u32,
+    },
+    /// The requested encoder wire count was outside `1..=6`.
+    InvalidWireCount(usize),
+}
+
+impl fmt::Display for BddError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BddError::TooManyVars { nvars, max } => {
+                write!(f, "truth tables limited to {max} variables (got {nvars})")
+            }
+            BddError::NodeLimit { nodes, limit } => {
+                write!(
+                    f,
+                    "BDD node ceiling exceeded: {nodes} nodes > limit {limit}"
+                )
+            }
+            BddError::InvalidBoundSet(msg) => write!(f, "invalid bound set: {msg}"),
+            BddError::FreshVarCollision { var } => {
+                write!(f, "fresh variable {var} collides with the support of f")
+            }
+            BddError::InvalidWireCount(w) => {
+                write!(f, "1..=6 encoding wires supported (got {w})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BddError {}

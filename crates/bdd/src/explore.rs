@@ -1,7 +1,7 @@
 //! Inspection utilities: DOT export and satisfying-assignment
 //! enumeration.
 
-use crate::{Bdd, Manager};
+use crate::{Bdd, BddError, Manager};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
@@ -47,12 +47,21 @@ impl Manager {
     /// `0..nvars`, in ascending binary order (bit `v` of each yielded
     /// value is variable `v`).
     ///
+    /// # Errors
+    ///
+    /// [`BddError::TooManyVars`] if `nvars > 24` (enumeration would not be
+    /// practical).
+    ///
     /// # Panics
     ///
-    /// Panics if `nvars > 24` (enumeration would not be practical) or `f`
-    /// depends on a variable `>= nvars`.
-    pub fn satisfying_assignments(&self, f: Bdd, nvars: u32) -> Vec<u32> {
-        assert!(nvars <= 24, "enumeration limited to 24 variables");
+    /// Panics if `f` depends on a variable `>= nvars`.
+    pub fn satisfying_assignments(&self, f: Bdd, nvars: u32) -> Result<Vec<u32>, BddError> {
+        if nvars > Self::MAX_TT_VARS {
+            return Err(BddError::TooManyVars {
+                nvars,
+                max: Self::MAX_TT_VARS,
+            });
+        }
         let mut out = Vec::new();
         let mut input = vec![false; nvars as usize];
         for i in 0..(1u32 << nvars) {
@@ -63,7 +72,7 @@ impl Manager {
                 out.push(i);
             }
         }
-        out
+        Ok(out)
     }
 
     /// One satisfying assignment (the lexicographically-least along the
@@ -114,9 +123,13 @@ mod tests {
         let x0 = m.var(0);
         let x1 = m.var(1);
         let f = m.xor(x0, x1);
-        assert_eq!(m.satisfying_assignments(f, 2), vec![0b01, 0b10]);
-        assert_eq!(m.satisfying_assignments(m.zero(), 3), Vec::<u32>::new());
-        assert_eq!(m.satisfying_assignments(m.one(), 1), vec![0, 1]);
+        assert_eq!(m.satisfying_assignments(f, 2), Ok(vec![0b01, 0b10]));
+        assert_eq!(m.satisfying_assignments(m.zero(), 3), Ok(Vec::new()));
+        assert_eq!(m.satisfying_assignments(m.one(), 1), Ok(vec![0, 1]));
+        assert!(matches!(
+            m.satisfying_assignments(f, 25),
+            Err(BddError::TooManyVars { nvars: 25, .. })
+        ));
     }
 
     #[test]

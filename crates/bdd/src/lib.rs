@@ -40,6 +40,8 @@
 pub mod decompose;
 pub mod explore;
 
+mod error;
 mod manager;
 
+pub use error::BddError;
 pub use manager::{Bdd, Manager};

@@ -1,5 +1,6 @@
 //! The hash-consed ROBDD node store and its operations.
 
+use crate::BddError;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -54,6 +55,7 @@ pub struct Manager {
     apply_cache: HashMap<(Op, Bdd, Bdd), Bdd>,
     not_cache: HashMap<Bdd, Bdd>,
     ite_cache: HashMap<(Bdd, Bdd, Bdd), Bdd>,
+    node_limit: Option<usize>,
 }
 
 impl Default for Manager {
@@ -83,6 +85,44 @@ impl Manager {
             apply_cache: HashMap::new(),
             not_cache: HashMap::new(),
             ite_cache: HashMap::new(),
+            node_limit: None,
+        }
+    }
+
+    /// Creates a manager with a node ceiling already installed
+    /// (see [`Manager::set_node_limit`]).
+    pub fn with_node_limit(limit: usize) -> Self {
+        let mut m = Self::new();
+        m.node_limit = Some(limit);
+        m
+    }
+
+    /// Installs (or clears) a soft ceiling on the total node count.
+    ///
+    /// Individual operations stay infallible — they may overshoot the
+    /// ceiling by the size of one operation's result — but
+    /// [`Manager::check_budget`] reports the overrun, and governed callers
+    /// (functional decomposition, cone construction) poll it between
+    /// operations and abort their work instead of spinning.
+    pub fn set_node_limit(&mut self, limit: Option<usize>) {
+        self.node_limit = limit;
+    }
+
+    /// The ceiling installed by [`Manager::set_node_limit`], if any.
+    pub fn node_limit(&self) -> Option<usize> {
+        self.node_limit
+    }
+
+    /// `Err(BddError::NodeLimit)` once the store has grown past the
+    /// configured ceiling; `Ok(())` otherwise (including when no ceiling is
+    /// set).
+    pub fn check_budget(&self) -> Result<(), BddError> {
+        match self.node_limit {
+            Some(limit) if self.nodes.len() > limit => Err(BddError::NodeLimit {
+                nodes: self.nodes.len(),
+                limit,
+            }),
+            _ => Ok(()),
         }
     }
 
@@ -147,6 +187,10 @@ impl Manager {
         if let Some(&b) = self.unique.get(&node) {
             return b;
         }
+        // SAFETY of the expect: 2^32 nodes would need > 64 GiB of node
+        // storage alone; governed callers install a node ceiling far below
+        // this and poll `check_budget` between operations, and ungoverned
+        // use is bounded by the <= 24-variable truth-table limit.
         let b = Bdd(u32::try_from(self.nodes.len()).expect("BDD node space exhausted"));
         self.nodes.push(node);
         self.unique.insert(node, b);
@@ -447,16 +491,32 @@ impl Manager {
         rec(self, f, nvars, &mut cache) << top
     }
 
+    /// The largest variable count [`Manager::from_truth_table`] and
+    /// [`Manager::to_truth_table`] accept (the flat table has `2^nvars`
+    /// bits).
+    pub const MAX_TT_VARS: u32 = 24;
+
     /// Builds a BDD from a flat truth table over `nvars` variables.
     /// Bit `i` of the table (bit `i % 64` of word `i / 64`) is the value of
     /// the function at the assignment whose variable `v` equals bit `v` of
     /// `i` — i.e. variable 0 is the least significant index bit.
     ///
+    /// # Errors
+    ///
+    /// [`BddError::TooManyVars`] if `nvars > 24`; [`BddError::NodeLimit`]
+    /// if the construction pushes the manager past its node ceiling.
+    ///
     /// # Panics
     ///
-    /// Panics if `bits` holds fewer than `2^nvars` bits or `nvars > 24`.
-    pub fn from_truth_table(&mut self, nvars: u32, bits: &[u64]) -> Bdd {
-        assert!(nvars <= 24, "truth tables limited to 24 variables");
+    /// Panics if `bits` holds fewer than `2^nvars` bits (a caller bug —
+    /// the table length is statically known at every call site).
+    pub fn from_truth_table(&mut self, nvars: u32, bits: &[u64]) -> Result<Bdd, BddError> {
+        if nvars > Self::MAX_TT_VARS {
+            return Err(BddError::TooManyVars {
+                nvars,
+                max: Self::MAX_TT_VARS,
+            });
+        }
         let need = 1usize << nvars;
         assert!(
             bits.len() * 64 >= need || (!bits.is_empty() && nvars < 6),
@@ -470,9 +530,10 @@ impl Manager {
     /// first of those variables. Splits off that variable by striding the
     /// table (tables are tiny, at most `2^24` bits).
     #[allow(clippy::wrong_self_convention)] // private helper of from_truth_table
-    fn from_tt_sub(&mut self, nvars: u32, bits: &[u64], width: u32) -> Bdd {
+    fn from_tt_sub(&mut self, nvars: u32, bits: &[u64], width: u32) -> Result<Bdd, BddError> {
+        self.check_budget()?;
         if width == 0 {
-            return if bits[0] & 1 == 1 { TRUE } else { FALSE };
+            return Ok(if bits[0] & 1 == 1 { TRUE } else { FALSE });
         }
         let var = nvars - width;
         let size = 1usize << width;
@@ -488,19 +549,28 @@ impl Manager {
                 hi_bits[j / 64] |= 1 << (j % 64);
             }
         }
-        let lo = self.from_tt_sub(nvars, &lo_bits, width - 1);
-        let hi = self.from_tt_sub(nvars, &hi_bits, width - 1);
-        self.mk(var, lo, hi)
+        let lo = self.from_tt_sub(nvars, &lo_bits, width - 1)?;
+        let hi = self.from_tt_sub(nvars, &hi_bits, width - 1)?;
+        Ok(self.mk(var, lo, hi))
     }
 
     /// Dumps `f` as a flat truth table over `nvars` variables (same bit
     /// layout as [`Manager::from_truth_table`]).
     ///
+    /// # Errors
+    ///
+    /// [`BddError::TooManyVars`] if `nvars > 24`.
+    ///
     /// # Panics
     ///
-    /// Panics if `nvars > 24` or `f` depends on a variable `>= nvars`.
-    pub fn to_truth_table(&self, f: Bdd, nvars: u32) -> Vec<u64> {
-        assert!(nvars <= 24, "truth tables limited to 24 variables");
+    /// Panics if `f` depends on a variable `>= nvars`.
+    pub fn to_truth_table(&self, f: Bdd, nvars: u32) -> Result<Vec<u64>, BddError> {
+        if nvars > Self::MAX_TT_VARS {
+            return Err(BddError::TooManyVars {
+                nvars,
+                max: Self::MAX_TT_VARS,
+            });
+        }
         let size = 1usize << nvars;
         let mut out = vec![0u64; size.div_ceil(64).max(1)];
         let mut input = vec![false; nvars as usize];
@@ -512,7 +582,7 @@ impl Manager {
                 out[i / 64] |= 1 << (i % 64);
             }
         }
-        out
+        Ok(out)
     }
 }
 
@@ -641,8 +711,8 @@ mod tests {
             }
             t
         };
-        let f = m.from_truth_table(3, &[tt]);
-        let back = m.to_truth_table(f, 3);
+        let f = m.from_truth_table(3, &[tt]).expect("3 vars fits");
+        let back = m.to_truth_table(f, 3).expect("3 vars fits");
         assert_eq!(back[0] & 0xFF, tt);
         // And check semantics directly.
         for i in 0..8u64 {
@@ -662,14 +732,68 @@ mod tests {
                 bits[i / 64] |= 1 << (i % 64);
             }
         }
-        let f = m.from_truth_table(7, &bits);
+        let f = m.from_truth_table(7, &bits).expect("7 vars fits");
         let mut expect = m.zero();
         for v in 0..7 {
             let x = m.var(v);
             expect = m.xor(expect, x);
         }
         assert_eq!(f, expect);
-        assert_eq!(m.to_truth_table(f, 7), bits.to_vec());
+        assert_eq!(m.to_truth_table(f, 7).expect("7 vars fits"), bits.to_vec());
+    }
+
+    #[test]
+    fn too_many_vars_is_an_error_not_a_panic() {
+        let mut m = Manager::new();
+        let r = m.from_truth_table(25, &[0u64; 1 << 19]);
+        assert_eq!(
+            r,
+            Err(BddError::TooManyVars {
+                nvars: 25,
+                max: Manager::MAX_TT_VARS
+            })
+        );
+        let x = m.var(0);
+        let r = m.to_truth_table(x, 30);
+        assert_eq!(
+            r,
+            Err(BddError::TooManyVars {
+                nvars: 30,
+                max: Manager::MAX_TT_VARS
+            })
+        );
+    }
+
+    #[test]
+    fn node_limit_trips_budget_check() {
+        let mut m = Manager::with_node_limit(8);
+        assert!(m.check_budget().is_ok());
+        // Parity over many variables grows one node per variable: push
+        // well past the ceiling.
+        let mut f = m.zero();
+        for v in 0..32 {
+            let x = m.var(v);
+            f = m.xor(f, x);
+        }
+        let err = m.check_budget().expect_err("over the ceiling");
+        assert!(matches!(err, BddError::NodeLimit { limit: 8, .. }));
+        // Clearing the limit clears the verdict.
+        m.set_node_limit(None);
+        assert!(m.check_budget().is_ok());
+    }
+
+    #[test]
+    fn from_truth_table_respects_node_limit() {
+        // 10-variable parity wants ~10 nodes; a ceiling of 4 must abort.
+        let mut bits = vec![0u64; 16];
+        for i in 0..1024usize {
+            if (i.count_ones() & 1) == 1 {
+                bits[i / 64] |= 1 << (i % 64);
+            }
+        }
+        let mut m = Manager::with_node_limit(4);
+        let r = m.from_truth_table(10, &bits);
+        assert!(matches!(r, Err(BddError::NodeLimit { .. })));
     }
 
     #[test]

@@ -1,9 +1,10 @@
-//! Property-based tests for the ROBDD package: operations agree with
-//! truth-table semantics, canonicity holds, and decomposition recomposes.
+//! Randomized (seeded, deterministic) tests for the ROBDD package:
+//! operations agree with truth-table semantics, canonicity holds, and
+//! decomposition recomposes.
 
-use proptest::prelude::*;
 use turbosyn_bdd::decompose::{column_multiplicity, decompose, recompose};
 use turbosyn_bdd::Manager;
+use turbosyn_graph::rng::StdRng;
 
 const NVARS: u32 = 5;
 const MASK: u64 = 0xFFFF_FFFF; // 2^(2^5) entries fit in 32 bits
@@ -12,39 +13,54 @@ fn eval_tt(tt: u64, input: u32) -> bool {
     (tt >> input) & 1 == 1
 }
 
-proptest! {
-    /// from_truth_table / to_truth_table round-trips.
-    #[test]
-    fn tt_roundtrip(tt in any::<u64>()) {
-        let tt = tt & MASK;
-        let mut m = Manager::new();
-        let f = m.from_truth_table(NVARS, &[tt]);
-        prop_assert_eq!(m.to_truth_table(f, NVARS)[0] & MASK, tt);
-    }
+fn build(m: &mut Manager, tt: u64) -> turbosyn_bdd::Bdd {
+    m.from_truth_table(NVARS, &[tt]).expect("5 vars fits")
+}
 
-    /// Boolean operations agree with bitwise truth-table operations.
-    #[test]
-    fn ops_match_truth_tables(a in any::<u64>(), b in any::<u64>()) {
-        let (a, b) = (a & MASK, b & MASK);
+/// from_truth_table / to_truth_table round-trips.
+#[test]
+fn tt_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xC1);
+    for _ in 0..64 {
+        let tt = rng.random::<u64>() & MASK;
         let mut m = Manager::new();
-        let fa = m.from_truth_table(NVARS, &[a]);
-        let fb = m.from_truth_table(NVARS, &[b]);
+        let f = build(&mut m, tt);
+        assert_eq!(
+            m.to_truth_table(f, NVARS).expect("5 vars fits")[0] & MASK,
+            tt
+        );
+    }
+}
+
+/// Boolean operations agree with bitwise truth-table operations.
+#[test]
+fn ops_match_truth_tables() {
+    let mut rng = StdRng::seed_from_u64(0xC2);
+    for _ in 0..64 {
+        let (a, b) = (rng.random::<u64>() & MASK, rng.random::<u64>() & MASK);
+        let mut m = Manager::new();
+        let fa = build(&mut m, a);
+        let fb = build(&mut m, b);
         let and = m.and(fa, fb);
         let or = m.or(fa, fb);
         let xor = m.xor(fa, fb);
         let not = m.not(fa);
-        prop_assert_eq!(m.to_truth_table(and, NVARS)[0] & MASK, a & b);
-        prop_assert_eq!(m.to_truth_table(or, NVARS)[0] & MASK, a | b);
-        prop_assert_eq!(m.to_truth_table(xor, NVARS)[0] & MASK, a ^ b);
-        prop_assert_eq!(m.to_truth_table(not, NVARS)[0] & MASK, !a & MASK);
+        let tt = |m: &mut Manager, f| m.to_truth_table(f, NVARS).expect("5 vars fits")[0] & MASK;
+        assert_eq!(tt(&mut m, and), a & b);
+        assert_eq!(tt(&mut m, or), a | b);
+        assert_eq!(tt(&mut m, xor), a ^ b);
+        assert_eq!(tt(&mut m, not), !a & MASK);
     }
+}
 
-    /// Canonicity: equal functions produce identical handles.
-    #[test]
-    fn canonicity(tt in any::<u64>()) {
-        let tt = tt & MASK;
+/// Canonicity: equal functions produce identical handles.
+#[test]
+fn canonicity() {
+    let mut rng = StdRng::seed_from_u64(0xC3);
+    for _ in 0..32 {
+        let tt = rng.random::<u64>() & MASK;
         let mut m = Manager::new();
-        let f = m.from_truth_table(NVARS, &[tt]);
+        let f = build(&mut m, tt);
         // Build the same function an entirely different way: as a sum of
         // minterms.
         let mut g = m.zero();
@@ -52,91 +68,112 @@ proptest! {
             if eval_tt(tt, i) {
                 let mut minterm = m.one();
                 for v in 0..NVARS {
-                    let lit = if (i >> v) & 1 == 1 { m.var(v) } else { m.nvar(v) };
+                    let lit = if (i >> v) & 1 == 1 {
+                        m.var(v)
+                    } else {
+                        m.nvar(v)
+                    };
                     minterm = m.and(minterm, lit);
                 }
                 g = m.or(g, minterm);
             }
         }
-        prop_assert_eq!(f, g);
+        assert_eq!(f, g);
     }
+}
 
-    /// Shannon expansion: f == ite(x, f|x=1, f|x=0) for every variable.
-    #[test]
-    fn shannon_expansion(tt in any::<u64>(), v in 0u32..NVARS) {
-        let tt = tt & MASK;
+/// Shannon expansion: f == ite(x, f|x=1, f|x=0) for every variable.
+#[test]
+fn shannon_expansion() {
+    let mut rng = StdRng::seed_from_u64(0xC4);
+    for _ in 0..64 {
+        let tt = rng.random::<u64>() & MASK;
+        let v = rng.random_range(0u32..NVARS);
         let mut m = Manager::new();
-        let f = m.from_truth_table(NVARS, &[tt]);
+        let f = build(&mut m, tt);
         let f0 = m.restrict(f, v, false);
         let f1 = m.restrict(f, v, true);
         let x = m.var(v);
         let back = m.ite(x, f1, f0);
-        prop_assert_eq!(back, f);
+        assert_eq!(back, f);
     }
+}
 
-    /// sat_count equals the truth-table popcount.
-    #[test]
-    fn sat_count_matches_popcount(tt in any::<u64>()) {
-        let tt = tt & MASK;
+/// sat_count equals the truth-table popcount.
+#[test]
+fn sat_count_matches_popcount() {
+    let mut rng = StdRng::seed_from_u64(0xC5);
+    for _ in 0..64 {
+        let tt = rng.random::<u64>() & MASK;
         let mut m = Manager::new();
-        let f = m.from_truth_table(NVARS, &[tt]);
-        prop_assert_eq!(m.sat_count(f, NVARS), u128::from(tt.count_ones()));
+        let f = build(&mut m, tt);
+        assert_eq!(m.sat_count(f, NVARS), u128::from(tt.count_ones()));
     }
+}
 
-    /// eval agrees with the truth table on every assignment.
-    #[test]
-    fn eval_matches(tt in any::<u64>()) {
-        let tt = tt & MASK;
+/// eval agrees with the truth table on every assignment.
+#[test]
+fn eval_matches() {
+    let mut rng = StdRng::seed_from_u64(0xC6);
+    for _ in 0..32 {
+        let tt = rng.random::<u64>() & MASK;
         let mut m = Manager::new();
-        let f = m.from_truth_table(NVARS, &[tt]);
+        let f = build(&mut m, tt);
         for i in 0..32u32 {
             let input: Vec<bool> = (0..NVARS).map(|v| (i >> v) & 1 == 1).collect();
-            prop_assert_eq!(m.eval(f, &input), eval_tt(tt, i));
+            assert_eq!(m.eval(f, &input), eval_tt(tt, i));
         }
     }
+}
 
-    /// Whenever Roth–Karp decomposition succeeds it recomposes exactly, and
-    /// the wire count honors the multiplicity bound.
-    #[test]
-    fn decomposition_recomposes(tt in any::<u64>(), wires in 1usize..4) {
-        let tt = tt & MASK;
+/// Whenever Roth–Karp decomposition succeeds it recomposes exactly, and
+/// the wire count honors the multiplicity bound.
+#[test]
+fn decomposition_recomposes() {
+    let mut rng = StdRng::seed_from_u64(0xC7);
+    for _ in 0..64 {
+        let tt = rng.random::<u64>() & MASK;
+        let wires = rng.random_range(1usize..4);
         let mut m = Manager::new();
-        let f = m.from_truth_table(NVARS, &[tt]);
+        let f = build(&mut m, tt);
         let bound = [0u32, 1, 2];
         let mu = column_multiplicity(&mut m, f, &bound);
-        match decompose(&mut m, f, &bound, wires, 16) {
+        match decompose(&mut m, f, &bound, wires, 16).expect("valid arguments") {
             Some(dec) => {
-                prop_assert!(mu <= (1 << wires));
-                prop_assert_eq!(dec.multiplicity, mu);
-                prop_assert!(dec.encoders.len() <= wires);
+                assert!(mu <= (1 << wires));
+                assert_eq!(dec.multiplicity, mu);
+                assert!(dec.encoders.len() <= wires);
                 let back = recompose(&mut m, &dec);
-                prop_assert_eq!(back, f);
+                assert_eq!(back, f);
                 // Encoders depend only on bound vars; image only on free +
                 // fresh vars.
                 for &h in &dec.encoders {
-                    prop_assert!(m.support(h).iter().all(|v| bound.contains(v)));
+                    assert!(m.support(h).iter().all(|v| bound.contains(v)));
                 }
-                prop_assert!(m
+                assert!(m
                     .support(dec.image)
                     .iter()
                     .all(|&v| v == 3 || v == 4 || v >= 16));
             }
-            None => prop_assert!(mu > (1 << wires)),
+            None => assert!(mu > (1 << wires)),
         }
     }
+}
 
-    /// Support never lists a variable the function does not depend on.
-    #[test]
-    fn support_is_exact(tt in any::<u64>()) {
-        let tt = tt & MASK;
+/// Support never lists a variable the function does not depend on.
+#[test]
+fn support_is_exact() {
+    let mut rng = StdRng::seed_from_u64(0xC8);
+    for _ in 0..64 {
+        let tt = rng.random::<u64>() & MASK;
         let mut m = Manager::new();
-        let f = m.from_truth_table(NVARS, &[tt]);
+        let f = build(&mut m, tt);
         let sup = m.support(f);
         for v in 0..NVARS {
             let f0 = m.restrict(f, v, false);
             let f1 = m.restrict(f, v, true);
             let depends = f0 != f1;
-            prop_assert_eq!(sup.contains(&v), depends, "variable {}", v);
+            assert_eq!(sup.contains(&v), depends, "variable {v}");
         }
     }
 }

@@ -1,9 +1,13 @@
-//! Criterion benchmarks of the algorithmic kernels: label computation
-//! (PLD vs n² on an infeasible probe), the exact MDR ratio, min-period
-//! retiming, and BDD functional decomposition.
+//! Benchmarks of the algorithmic kernels: label computation (PLD vs n²
+//! on an infeasible probe), the exact MDR ratio, min-period retiming,
+//! and BDD functional decomposition.
+//!
+//! Hermetic harness (no criterion): each kernel runs a warmup pass and
+//! then a fixed number of timed iterations; the median per-iteration
+//! time is printed. Run with `cargo bench -p turbosyn-bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 use turbosyn::label::{compute_labels, LabelOptions};
 use turbosyn::StopRule;
 use turbosyn_bdd::decompose::{column_multiplicity, decompose};
@@ -12,7 +16,22 @@ use turbosyn_graph::cycle_ratio::max_cycle_ratio;
 use turbosyn_netlist::gen;
 use turbosyn_retime::{min_period_retiming, retime_with_pipelining};
 
-fn bench_labels(cr: &mut Criterion) {
+/// Times `f` over `iters` iterations (after one warmup) and prints the
+/// median per-iteration time.
+fn bench(name: &str, iters: usize, mut f: impl FnMut()) {
+    f(); // warmup
+    let mut times = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        times.push(t.elapsed());
+    }
+    times.sort();
+    let median = times[times.len() / 2];
+    println!("{name:<40} {:>12.3?} /iter  ({iters} iters)", median);
+}
+
+fn bench_labels() {
     let c = gen::fsm(gen::FsmConfig {
         state_bits: 4,
         inputs: 6,
@@ -26,34 +45,31 @@ fn bench_labels(cr: &mut Criterion) {
         phi += 1;
     }
     let probe = (phi - 1).max(1);
-    let mut group = cr.benchmark_group("labels_infeasible_probe");
-    group.sample_size(10);
-    group.bench_function("pld", |b| {
-        let o = LabelOptions {
-            stop: StopRule::Pld,
-            ..LabelOptions::turbomap(5, probe)
-        };
-        b.iter(|| compute_labels(black_box(&c), &o))
+    let pld = LabelOptions {
+        stop: StopRule::Pld,
+        ..LabelOptions::turbomap(5, probe)
+    };
+    bench("labels_infeasible_probe/pld", 10, || {
+        black_box(compute_labels(black_box(&c), &pld));
     });
-    group.bench_function("n_squared", |b| {
-        let o = LabelOptions {
-            stop: StopRule::NSquared,
-            ..LabelOptions::turbomap(5, probe)
-        };
-        b.iter(|| compute_labels(black_box(&c), &o))
+    let n2 = LabelOptions {
+        stop: StopRule::NSquared,
+        ..LabelOptions::turbomap(5, probe)
+    };
+    bench("labels_infeasible_probe/n_squared", 10, || {
+        black_box(compute_labels(black_box(&c), &n2));
     });
-    group.bench_function("feasible_turbomap", |b| {
-        let o = LabelOptions::turbomap(5, phi);
-        b.iter(|| compute_labels(black_box(&c), &o))
+    let tm = LabelOptions::turbomap(5, phi);
+    bench("labels_infeasible_probe/feasible_turbomap", 10, || {
+        black_box(compute_labels(black_box(&c), &tm));
     });
-    group.bench_function("feasible_turbosyn", |b| {
-        let o = LabelOptions::turbosyn(5, phi);
-        b.iter(|| compute_labels(black_box(&c), &o))
+    let ts = LabelOptions::turbosyn(5, phi);
+    bench("labels_infeasible_probe/feasible_turbosyn", 10, || {
+        black_box(compute_labels(black_box(&c), &ts));
     });
-    group.finish();
 }
 
-fn bench_mdr(cr: &mut Criterion) {
+fn bench_mdr() {
     let c = gen::iscas_like(gen::IscasConfig {
         layers: 10,
         width: 100,
@@ -64,19 +80,18 @@ fn bench_mdr(cr: &mut Criterion) {
     });
     let g = c.to_digraph();
     let d = c.delays();
-    cr.bench_function("mdr_exact_1000_gates", |b| {
-        b.iter(|| max_cycle_ratio(black_box(&g), black_box(&d)).expect("cyclic"))
+    bench("mdr_exact_1000_gates", 20, || {
+        black_box(max_cycle_ratio(black_box(&g), black_box(&d)).expect("cyclic"));
     });
 }
 
-fn bench_retiming(cr: &mut Criterion) {
+fn bench_retiming() {
     let c = gen::ring(64, 16);
-    let mut group = cr.benchmark_group("retiming");
-    group.bench_function("min_period_ring64", |b| {
-        b.iter(|| min_period_retiming(black_box(&c)))
+    bench("retiming/min_period_ring64", 20, || {
+        black_box(min_period_retiming(black_box(&c)));
     });
-    group.bench_function("pipeline_ring64", |b| {
-        b.iter(|| retime_with_pipelining(black_box(&c)))
+    bench("retiming/pipeline_ring64", 20, || {
+        black_box(retime_with_pipelining(black_box(&c)));
     });
     let fsm = gen::fsm(gen::FsmConfig {
         state_bits: 4,
@@ -86,48 +101,45 @@ fn bench_retiming(cr: &mut Criterion) {
         seed: 77,
     });
     let period = min_period_retiming(&fsm).period;
-    group.bench_function("wd_matrices_fsm", |b| {
-        b.iter(|| turbosyn_retime::wd::WdMatrices::of(black_box(&fsm)))
+    bench("retiming/wd_matrices_fsm", 20, || {
+        black_box(turbosyn_retime::wd::WdMatrices::of(black_box(&fsm)));
     });
-    group.bench_function("min_registers_fsm", |b| {
-        b.iter(|| {
-            turbosyn_retime::min_register_retiming(black_box(&fsm), period).expect("feasible")
-        })
+    bench("retiming/min_registers_fsm", 20, || {
+        black_box(
+            turbosyn_retime::min_register_retiming(black_box(&fsm), period).expect("feasible"),
+        );
     });
-    group.finish();
 }
 
-fn bench_decomposition(cr: &mut Criterion) {
+fn bench_decomposition() {
     // A 12-input function with a decomposable 5-input bound set.
-    let mut group = cr.benchmark_group("bdd_decompose");
-    group.bench_function("mu_and_extract_12in", |b| {
-        b.iter(|| {
-            let mut m = Manager::new();
-            let mut side = m.one();
-            for v in 0..5 {
-                let x = m.var(v);
-                side = m.and(side, x);
-            }
-            let mut rest = m.zero();
-            for v in 5..12 {
-                let x = m.var(v);
-                rest = m.xor(rest, x);
-            }
-            let f = m.xor(side, rest);
-            let bound = [0u32, 1, 2, 3, 4];
-            let mu = column_multiplicity(&mut m, f, &bound);
-            assert_eq!(mu, 2);
-            decompose(&mut m, f, &bound, 1, 20).expect("decomposes")
-        })
+    bench("bdd_decompose/mu_and_extract_12in", 20, || {
+        let mut m = Manager::new();
+        let mut side = m.one();
+        for v in 0..5 {
+            let x = m.var(v);
+            side = m.and(side, x);
+        }
+        let mut rest = m.zero();
+        for v in 5..12 {
+            let x = m.var(v);
+            rest = m.xor(rest, x);
+        }
+        let f = m.xor(side, rest);
+        let bound = [0u32, 1, 2, 3, 4];
+        let mu = column_multiplicity(&mut m, f, &bound);
+        assert_eq!(mu, 2);
+        black_box(
+            decompose(&mut m, f, &bound, 1, 20)
+                .expect("valid arguments")
+                .expect("decomposes"),
+        );
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_labels,
-    bench_mdr,
-    bench_retiming,
-    bench_decomposition
-);
-criterion_main!(benches);
+fn main() {
+    bench_labels();
+    bench_mdr();
+    bench_retiming();
+    bench_decomposition();
+}

@@ -1,37 +1,44 @@
-//! Criterion benchmarks of the three mappers on representative suite
-//! circuits (one small and one mid FSM row, one ISCAS row) — the timing
-//! backbone of Table 1's CPU columns.
+//! Benchmarks of the three mappers on representative suite circuits
+//! (one small and one mid FSM row, one ISCAS row) — the timing backbone
+//! of Table 1's CPU columns.
+//!
+//! Hermetic harness (no criterion): median of a fixed iteration count.
+//! Run with `cargo bench -p turbosyn-bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 use turbosyn::{flowsyn_s, turbomap, turbosyn, MapOptions};
 use turbosyn_netlist::gen;
 
-fn bench_mappers(cr: &mut Criterion) {
-    let suite = gen::suite();
-    let pick = ["bbara", "cse", "s420"];
-    let mut group = cr.benchmark_group("mappers");
-    group.sample_size(10);
-    for b in suite.iter().filter(|b| pick.contains(&b.name)) {
-        let opts = MapOptions::default();
-        group.bench_with_input(
-            BenchmarkId::new("flowsyn_s", b.name),
-            &b.circuit,
-            |ben, c| ben.iter(|| flowsyn_s(black_box(c), &opts).expect("maps")),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("turbomap", b.name),
-            &b.circuit,
-            |ben, c| ben.iter(|| turbomap(black_box(c), &opts).expect("maps")),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("turbosyn", b.name),
-            &b.circuit,
-            |ben, c| ben.iter(|| turbosyn(black_box(c), &opts).expect("maps")),
-        );
+fn bench(name: &str, iters: usize, mut f: impl FnMut()) {
+    f(); // warmup
+    let mut times = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        times.push(t.elapsed());
     }
-    group.finish();
+    times.sort();
+    println!(
+        "{name:<40} {:>12.3?} /iter  ({iters} iters)",
+        times[times.len() / 2]
+    );
 }
 
-criterion_group!(benches, bench_mappers);
-criterion_main!(benches);
+fn main() {
+    let suite = gen::suite();
+    let pick = ["bbara", "cse", "s420"];
+    for b in suite.iter().filter(|b| pick.contains(&b.name)) {
+        let opts = MapOptions::default();
+        let c = &b.circuit;
+        bench(&format!("mappers/flowsyn_s/{}", b.name), 10, || {
+            black_box(flowsyn_s(black_box(c), &opts).expect("maps"));
+        });
+        bench(&format!("mappers/turbomap/{}", b.name), 10, || {
+            black_box(turbomap(black_box(c), &opts).expect("maps"));
+        });
+        bench(&format!("mappers/turbosyn/{}", b.name), 10, || {
+            black_box(turbosyn(black_box(c), &opts).expect("maps"));
+        });
+    }
+}

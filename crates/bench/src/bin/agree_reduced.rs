@@ -4,8 +4,14 @@ use turbosyn::{turbomap, turbosyn, MapOptions, StopRule};
 use turbosyn_netlist::gen;
 
 fn main() {
-    let pld = MapOptions { stop: StopRule::Pld, ..MapOptions::default() };
-    let n2 = MapOptions { stop: StopRule::NSquared, ..MapOptions::default() };
+    let pld = MapOptions {
+        stop: StopRule::Pld,
+        ..MapOptions::default()
+    };
+    let n2 = MapOptions {
+        stop: StopRule::NSquared,
+        ..MapOptions::default()
+    };
     for b in gen::suite() {
         if !["bbara", "bbsse", "cse", "kirkman", "keyb", "styr"].contains(&b.name) {
             continue;
@@ -16,7 +22,10 @@ fn main() {
         let ts_p = turbosyn(&b.circuit, &pld).expect("maps");
         let ts_n = turbosyn(&b.circuit, &n2).expect("maps");
         assert_eq!(ts_p.phi, ts_n.phi, "{}: TurboSYN disagrees", b.name);
-        println!("{}: TM {} TS {} (both rules agree)", b.name, tm_p.phi, ts_p.phi);
+        println!(
+            "{}: TM {} TS {} (both rules agree)",
+            b.name, tm_p.phi, ts_p.phi
+        );
     }
     println!("REDUCED_AGREEMENT_OK");
 }

@@ -8,7 +8,7 @@
 
 use std::time::Instant;
 use turbosyn::{turbomap, turbosyn, MapOptions};
-use turbosyn_bench::{ms, row, sep};
+use turbosyn_bench::{ms, row, sep, try_map};
 use turbosyn_netlist::gen;
 
 fn main() {
@@ -54,10 +54,26 @@ fn main() {
 
     for (name, c) in cases {
         let t = Instant::now();
-        let tm = turbomap(&c, &opts).expect("TurboMap maps");
+        let tm = match try_map(&name, || turbomap(&c, &opts)) {
+            Ok(r) => r,
+            Err(reason) => {
+                let mut cells = vec![reason];
+                cells.resize(7, "-".to_string());
+                println!("{}", row(&cells));
+                continue;
+            }
+        };
         let tm_t = t.elapsed();
         let t = Instant::now();
-        let ts = turbosyn(&c, &opts).expect("TurboSYN maps");
+        let ts = match try_map(&name, || turbosyn(&c, &opts)) {
+            Ok(r) => r,
+            Err(reason) => {
+                let mut cells = vec![reason];
+                cells.resize(7, "-".to_string());
+                println!("{}", row(&cells));
+                continue;
+            }
+        };
         let ts_t = t.elapsed();
         println!(
             "{}",

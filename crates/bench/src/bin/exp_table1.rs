@@ -8,7 +8,7 @@
 //! Run: `cargo run --release -p turbosyn-bench --bin exp_table1`
 
 use turbosyn::{flowsyn_s, turbomap, turbosyn, MapOptions};
-use turbosyn_bench::{geomean, ms, row, sep};
+use turbosyn_bench::{geomean, ms, row, sep, try_map};
 use turbosyn_netlist::gen;
 
 fn main() {
@@ -34,9 +34,19 @@ fn main() {
     let mut tm_ratio = Vec::new();
     for bench in gen::suite() {
         let c = &bench.circuit;
-        let fs = flowsyn_s(c, &opts).expect("FlowSYN-s maps");
-        let tm = turbomap(c, &opts).expect("TurboMap maps");
-        let ts = turbosyn(c, &opts).expect("TurboSYN maps");
+        let mapped = try_map(bench.name, || flowsyn_s(c, &opts)).and_then(|fs| {
+            try_map(bench.name, || turbomap(c, &opts))
+                .and_then(|tm| try_map(bench.name, || turbosyn(c, &opts)).map(|ts| (fs, tm, ts)))
+        });
+        let (fs, tm, ts) = match mapped {
+            Ok(t) => t,
+            Err(reason) => {
+                let mut cells = vec![reason];
+                cells.resize(9, "-".to_string());
+                println!("{}", row(&cells));
+                continue;
+            }
+        };
         println!(
             "{}",
             row(&[

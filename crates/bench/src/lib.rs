@@ -2,7 +2,35 @@
 //! paper's tables and figures (see DESIGN.md for the per-experiment
 //! index, and EXPERIMENTS.md for recorded results).
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
+use turbosyn::{MapReport, SynthesisError};
+
+/// Runs one per-circuit mapper call fenced off from the rest of the
+/// harness: a panic (or typed error) in one benchmark becomes a
+/// `FAILED(<circuit>)` row instead of killing the whole experiment.
+///
+/// # Errors
+///
+/// The human-readable reason the circuit failed (panic payload or
+/// [`SynthesisError`] text).
+pub fn try_map<F>(circuit: &str, f: F) -> Result<MapReport, String>
+where
+    F: FnOnce() -> Result<MapReport, SynthesisError>,
+{
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(Ok(report)) => Ok(report),
+        Ok(Err(e)) => Err(format!("FAILED({circuit}): {e}")),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(format!("FAILED({circuit}): panic: {msg}"))
+        }
+    }
+}
 
 /// Geometric mean of a slice of ratios.
 pub fn geomean(ratios: &[f64]) -> f64 {
@@ -36,6 +64,21 @@ mod tests {
         assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
         assert!((geomean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
         assert!(geomean(&[]).is_nan());
+    }
+
+    #[test]
+    fn try_map_fences_panics_and_errors() {
+        let err = try_map("boom", || panic!("kaboom")).unwrap_err();
+        assert!(err.contains("FAILED(boom)") && err.contains("kaboom"));
+        let err = try_map("bad", || Err(SynthesisError::InvalidInput("k".into()))).unwrap_err();
+        assert!(err.contains("FAILED(bad)"));
+        let ok = try_map("fig1", || {
+            turbosyn::turbosyn(
+                &turbosyn_netlist::gen::figure1(),
+                &turbosyn::MapOptions::default(),
+            )
+        });
+        assert_eq!(ok.expect("maps").phi, 1);
     }
 
     #[test]

@@ -7,16 +7,38 @@
 //!   -k <K>                  LUT input count (default 5)
 //!   -a, --algorithm <name>  turbosyn | turbomap | flowsyn-s (default turbosyn)
 //!       --max-wires <1|2>   decomposition wires (default 1)
+//!       --timeout-ms <N>    wall-clock budget; past it the best verified
+//!                           mapping found so far is emitted (exit code 3)
+//!       --max-bdd-nodes <N> per-decomposition BDD-node ceiling
 //!       --min-registers     run exact register minimization
 //!       --no-pack           skip the LUT packing pass
 //!       --optimize          run constant propagation + strash first
 //!       --stats             print statistics to stderr
 //!   -h, --help              this text
 //! ```
+//!
+//! Exit codes: `0` success, `1` internal error (failed self-verification),
+//! `2` bad input (unreadable / malformed BLIF, bad arguments), `3`
+//! degraded success (a budget was hit; the emitted mapping is verified at
+//! the reported φ, which is an upper bound), `4` budget exhausted or
+//! cancelled before any verified mapping existed.
+//!
+//! Ctrl-C triggers cooperative cancellation: the run stops at the next
+//! governance poll and exits with code 4.
 
 use std::process::ExitCode;
-use turbosyn::{flowsyn_s, turbomap, turbosyn, MapOptions, MapReport};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+use turbosyn::{
+    flowsyn_s, turbomap, turbosyn, Budget, CancelToken, MapOptions, MapReport, SynthesisError,
+};
 use turbosyn_netlist::{blif, opt, Circuit};
+
+const EXIT_OK: u8 = 0;
+const EXIT_INTERNAL: u8 = 1;
+const EXIT_BAD_INPUT: u8 = 2;
+const EXIT_DEGRADED: u8 = 3;
+const EXIT_BUDGET: u8 = 4;
 
 #[derive(Debug)]
 struct Args {
@@ -25,6 +47,8 @@ struct Args {
     k: usize,
     algorithm: String,
     max_wires: usize,
+    timeout_ms: Option<u64>,
+    max_bdd_nodes: Option<usize>,
     min_registers: bool,
     pack: bool,
     optimize: bool,
@@ -33,7 +57,8 @@ struct Args {
 
 fn usage() -> &'static str {
     "usage: turbosyn-cli [-o out.blif] [-k K] [-a turbosyn|turbomap|flowsyn-s] \
-     [--max-wires 1|2] [--min-registers] [--no-pack] [--optimize] [--stats] input.blif"
+     [--max-wires 1|2] [--timeout-ms N] [--max-bdd-nodes N] [--min-registers] \
+     [--no-pack] [--optimize] [--stats] input.blif"
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -43,6 +68,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         k: 5,
         algorithm: "turbosyn".into(),
         max_wires: 1,
+        timeout_ms: None,
+        max_bdd_nodes: None,
         min_registers: false,
         pack: true,
         optimize: false,
@@ -76,6 +103,18 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     return Err("--max-wires must be 1 or 2".into());
                 }
             }
+            "--timeout-ms" => {
+                let v = it.next().ok_or("missing value for --timeout-ms")?;
+                args.timeout_ms = Some(v.parse().map_err(|_| format!("bad timeout: {v}"))?);
+            }
+            "--max-bdd-nodes" => {
+                let v = it.next().ok_or("missing value for --max-bdd-nodes")?;
+                let n: usize = v.parse().map_err(|_| format!("bad node count: {v}"))?;
+                if n == 0 {
+                    return Err("--max-bdd-nodes must be positive".into());
+                }
+                args.max_bdd_nodes = Some(n);
+            }
             "--min-registers" => args.min_registers = true,
             "--no-pack" => args.pack = false,
             "--optimize" => args.optimize = true,
@@ -97,89 +136,75 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     Ok(args)
 }
 
-fn run(args: &Args, circuit: &Circuit) -> Result<MapReport, String> {
+fn budget_for(args: &Args, cancel: CancelToken) -> Budget {
+    let mut b = Budget::default().with_cancel(cancel);
+    if let Some(ms) = args.timeout_ms {
+        b = b.with_deadline(Duration::from_millis(ms));
+    }
+    if let Some(n) = args.max_bdd_nodes {
+        b = b.with_max_bdd_nodes(n);
+    }
+    b
+}
+
+fn run(args: &Args, circuit: &Circuit, cancel: CancelToken) -> Result<MapReport, SynthesisError> {
     let opts = MapOptions {
         k: args.k,
         max_wires: args.max_wires,
         minimize_registers: args.min_registers,
         pack: args.pack,
+        budget: budget_for(args, cancel),
         ..MapOptions::default()
     };
-    let report = match args.algorithm.as_str() {
+    match args.algorithm.as_str() {
         "turbosyn" => turbosyn(circuit, &opts),
         "turbomap" => turbomap(circuit, &opts),
         "flowsyn-s" => flowsyn_s(circuit, &opts),
         _ => unreachable!("validated in parse_args"),
-    };
-    report.map_err(|e| format!("mapping failed verification: {e}"))
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn args(v: &[&str]) -> Result<Args, String> {
-        parse_args(&v.iter().map(|s| s.to_string()).collect::<Vec<_>>())
-    }
-
-    #[test]
-    fn defaults() {
-        let a = args(&["design.blif"]).expect("parses");
-        assert_eq!(a.k, 5);
-        assert_eq!(a.algorithm, "turbosyn");
-        assert!(a.pack && !a.min_registers && !a.optimize && !a.stats);
-        assert_eq!(a.output, None);
-    }
-
-    #[test]
-    fn full_flags() {
-        let a = args(&[
-            "-o",
-            "out.blif",
-            "-k",
-            "4",
-            "-a",
-            "turbomap",
-            "--max-wires",
-            "2",
-            "--min-registers",
-            "--no-pack",
-            "--optimize",
-            "--stats",
-            "in.blif",
-        ])
-        .expect("parses");
-        assert_eq!(a.output.as_deref(), Some("out.blif"));
-        assert_eq!(a.k, 4);
-        assert_eq!(a.algorithm, "turbomap");
-        assert_eq!(a.max_wires, 2);
-        assert!(a.min_registers && !a.pack && a.optimize && a.stats);
-        assert_eq!(a.input, "in.blif");
-    }
-
-    #[test]
-    fn rejections() {
-        assert!(args(&[]).is_err(), "missing input");
-        assert!(args(&["-k", "1", "x.blif"]).is_err(), "K too small");
-        assert!(
-            args(&["-a", "magic", "x.blif"]).is_err(),
-            "unknown algorithm"
-        );
-        assert!(
-            args(&["--max-wires", "3", "x.blif"]).is_err(),
-            "too many wires"
-        );
-        assert!(args(&["--bogus", "x.blif"]).is_err(), "unknown flag");
-        assert!(args(&["a.blif", "b.blif"]).is_err(), "two inputs");
-        assert!(args(&["-o"]).is_err(), "missing value");
-    }
-
-    #[test]
-    fn help_is_an_err_with_usage() {
-        let e = args(&["--help"]).unwrap_err();
-        assert!(e.contains("usage:"));
     }
 }
+
+fn exit_code_for(e: &SynthesisError) -> u8 {
+    match e {
+        SynthesisError::InvalidInput(_)
+        | SynthesisError::Blif(_)
+        | SynthesisError::TooManyVars { .. } => EXIT_BAD_INPUT,
+        SynthesisError::BudgetExceeded { .. } | SynthesisError::Cancelled => EXIT_BUDGET,
+        SynthesisError::Verify(_) | SynthesisError::Internal(_) => EXIT_INTERNAL,
+    }
+}
+
+/// Flag set by the SIGINT handler; a poller thread forwards it to the
+/// [`CancelToken`] (signal handlers must only touch async-signal-safe
+/// state, and an atomic store qualifies while an `Arc` clone does not).
+static SIGINT_SEEN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_sigint(_signum: i32) {
+    SIGINT_SEEN.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+fn install_ctrl_c(token: CancelToken) {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    // SAFETY: installs an async-signal-safe handler (it only stores to a
+    // static atomic). `signal` is the C standard library function.
+    unsafe {
+        signal(SIGINT, on_sigint as *const () as usize);
+    }
+    std::thread::spawn(move || loop {
+        if SIGINT_SEEN.load(Ordering::SeqCst) {
+            token.cancel();
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    });
+}
+
+#[cfg(not(unix))]
+fn install_ctrl_c(_token: CancelToken) {}
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -187,25 +212,25 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(msg) if argv.iter().any(|a| a == "-h" || a == "--help") => {
             println!("{msg}");
-            return ExitCode::SUCCESS;
+            return ExitCode::from(EXIT_OK);
         }
         Err(msg) => {
             eprintln!("{msg}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_BAD_INPUT);
         }
     };
     let text = match std::fs::read_to_string(&args.input) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("cannot read {}: {e}", args.input);
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_BAD_INPUT);
         }
     };
     let mut circuit = match blif::parse(&text) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("BLIF parse error: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_BAD_INPUT);
         }
     };
     if args.stats {
@@ -221,11 +246,13 @@ fn main() -> ExitCode {
         }
         circuit = clean;
     }
-    let report = match run(&args, &circuit) {
+    let cancel = CancelToken::new();
+    install_ctrl_c(cancel.clone());
+    let report = match run(&args, &circuit, cancel) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("{e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(exit_code_for(&e));
         }
     };
     if args.stats {
@@ -243,15 +270,133 @@ fn main() -> ExitCode {
             report.stats.sweeps, report.stats.cut_tests, report.stats.resyn_successes
         );
     }
+    let degraded = report.degradation.is_some();
+    if let Some(d) = &report.degradation {
+        eprintln!(
+            "degraded: mapping verified at phi={} (upper bound; a smaller ratio may exist)",
+            d.phi_achieved
+        );
+        for ev in &d.events {
+            eprintln!("  - {ev}");
+        }
+    }
     let out_text = blif::write(&report.final_circuit);
     match &args.output {
         Some(path) => {
             if let Err(e) = std::fs::write(path, out_text) {
                 eprintln!("cannot write {path}: {e}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_INTERNAL);
             }
         }
         None => print!("{out_text}"),
     }
-    ExitCode::SUCCESS
+    ExitCode::from(if degraded { EXIT_DEGRADED } else { EXIT_OK })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Result<Args, String> {
+        parse_args(&v.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn defaults() {
+        let a = args(&["design.blif"]).expect("parses");
+        assert_eq!(a.k, 5);
+        assert_eq!(a.algorithm, "turbosyn");
+        assert!(a.pack && !a.min_registers && !a.optimize && !a.stats);
+        assert_eq!(a.output, None);
+        assert_eq!(a.timeout_ms, None);
+        assert_eq!(a.max_bdd_nodes, None);
+    }
+
+    #[test]
+    fn full_flags() {
+        let a = args(&[
+            "-o",
+            "out.blif",
+            "-k",
+            "4",
+            "-a",
+            "turbomap",
+            "--max-wires",
+            "2",
+            "--timeout-ms",
+            "2500",
+            "--max-bdd-nodes",
+            "10000",
+            "--min-registers",
+            "--no-pack",
+            "--optimize",
+            "--stats",
+            "in.blif",
+        ])
+        .expect("parses");
+        assert_eq!(a.output.as_deref(), Some("out.blif"));
+        assert_eq!(a.k, 4);
+        assert_eq!(a.algorithm, "turbomap");
+        assert_eq!(a.max_wires, 2);
+        assert_eq!(a.timeout_ms, Some(2500));
+        assert_eq!(a.max_bdd_nodes, Some(10000));
+        assert!(a.min_registers && !a.pack && a.optimize && a.stats);
+        assert_eq!(a.input, "in.blif");
+    }
+
+    #[test]
+    fn rejections() {
+        assert!(args(&[]).is_err(), "missing input");
+        assert!(args(&["-k", "1", "x.blif"]).is_err(), "K too small");
+        assert!(
+            args(&["-a", "magic", "x.blif"]).is_err(),
+            "unknown algorithm"
+        );
+        assert!(
+            args(&["--max-wires", "3", "x.blif"]).is_err(),
+            "too many wires"
+        );
+        assert!(
+            args(&["--timeout-ms", "soon", "x.blif"]).is_err(),
+            "non-numeric timeout"
+        );
+        assert!(
+            args(&["--max-bdd-nodes", "0", "x.blif"]).is_err(),
+            "zero BDD ceiling"
+        );
+        assert!(args(&["--bogus", "x.blif"]).is_err(), "unknown flag");
+        assert!(args(&["a.blif", "b.blif"]).is_err(), "two inputs");
+        assert!(args(&["-o"]).is_err(), "missing value");
+    }
+
+    #[test]
+    fn help_is_an_err_with_usage() {
+        let e = args(&["--help"]).unwrap_err();
+        assert!(e.contains("usage:"));
+    }
+
+    #[test]
+    fn budget_reflects_flags() {
+        let a = args(&["--timeout-ms", "100", "--max-bdd-nodes", "50", "x.blif"]).expect("parses");
+        let b = budget_for(&a, CancelToken::new());
+        assert_eq!(b.deadline, Some(Duration::from_millis(100)));
+        assert_eq!(b.max_bdd_nodes, Some(50));
+    }
+
+    #[test]
+    fn exit_codes_partition_error_space() {
+        assert_eq!(
+            exit_code_for(&SynthesisError::InvalidInput("x".into())),
+            EXIT_BAD_INPUT
+        );
+        assert_eq!(exit_code_for(&SynthesisError::Cancelled), EXIT_BUDGET);
+        assert_eq!(
+            exit_code_for(&SynthesisError::BudgetExceeded { what: "x".into() }),
+            EXIT_BUDGET
+        );
+        assert_eq!(
+            exit_code_for(&SynthesisError::Internal("x".into())),
+            EXIT_INTERNAL
+        );
+    }
 }

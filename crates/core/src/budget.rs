@@ -1,0 +1,381 @@
+//! Resource governance: budgets, cancellation, and degradation reports.
+//!
+//! The labeling machinery can blow up super-linearly on adversarial loop
+//! structures (wide reconvergent cuts, huge expanded circuits, hostile
+//! decomposition instances). A [`Budget`] puts hard ceilings on that work
+//! and a [`CancelToken`] allows an embedding service (or a Ctrl-C handler)
+//! to stop a run from another thread. Budgets are *polled* at the natural
+//! choke points — once per labeling sweep, once per materialized
+//! expansion, once per BDD operation batch — so overshoot is bounded by
+//! one work item (an expansion is capped by
+//! [`ExpandLimits::max_nodes`](crate::ExpandLimits), a BDD batch by the
+//! manager's own ceiling).
+//!
+//! Exhaustion degrades instead of aborting wherever a sound result
+//! exists:
+//!
+//! * a per-node decomposition that trips the BDD ceiling falls back to
+//!   the plain TurboMap label update for that node;
+//! * a deadline (or work budget) expiring mid-binary-search returns the
+//!   best already-proven mapping at the lowest φ whose labels converged,
+//!   tagged with a [`Degradation`] report on
+//!   [`MapReport`](crate::MapReport);
+//! * an oscillating PLD isolation signal disables the fast path for that
+//!   SCC and lets the quadratic ([`StopRule::NSquared`]
+//!   (crate::StopRule::NSquared)) backstop decide the probe.
+//!
+//! Only cancellation and a deadline that expires before *any* feasible φ
+//! was proven surface as hard errors
+//! ([`SynthesisError`](crate::SynthesisError)).
+//!
+//! Budget checks never alter an in-probe decision — they abort the whole
+//! probe — and the per-decomposition BDD ceiling is part of
+//! [`LabelOptions`](crate::LabelOptions), so mapping generation replays
+//! exactly the decisions the (governed) label search made.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A cheap, clonable cancellation flag (`Arc<AtomicBool>`).
+///
+/// Clone it into another thread (or a signal handler's poller) and call
+/// [`CancelToken::cancel`]; every governed computation holding a clone
+/// observes the flag at its next poll point and stops with
+/// [`Interrupted::Cancelled`].
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; safe from any thread.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// Resource ceilings for one synthesis run. `None` everywhere (the
+/// default) means unlimited — exactly the pre-governance behaviour.
+#[derive(Debug, Clone, Default)]
+pub struct Budget {
+    /// Wall-clock deadline, measured from the start of the mapper call.
+    pub deadline: Option<Duration>,
+    /// Total expanded-circuit nodes materialized across the φ search.
+    pub max_work: Option<u64>,
+    /// Per-decomposition BDD-node ceiling (each resynthesis attempt uses
+    /// a fresh manager, so this bounds a single cut function's
+    /// decomposition, deterministically).
+    pub max_bdd_nodes: Option<usize>,
+    /// Labeling sweeps per φ probe; a probe that exceeds it is treated
+    /// as infeasible (sound: the search then settles on a higher,
+    /// convergent φ).
+    pub max_sweeps: Option<u64>,
+    /// Cooperative cancellation flag.
+    pub cancel: CancelToken,
+}
+
+impl Budget {
+    /// An explicitly unlimited budget (same as `Budget::default()`).
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// Sets the wall-clock deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the total expanded-node work budget.
+    #[must_use]
+    pub fn with_max_work(mut self, nodes: u64) -> Self {
+        self.max_work = Some(nodes);
+        self
+    }
+
+    /// Sets the per-decomposition BDD-node ceiling.
+    #[must_use]
+    pub fn with_max_bdd_nodes(mut self, nodes: usize) -> Self {
+        self.max_bdd_nodes = Some(nodes);
+        self
+    }
+
+    /// Sets the per-probe labeling sweep cap.
+    #[must_use]
+    pub fn with_max_sweeps(mut self, sweeps: u64) -> Self {
+        self.max_sweeps = Some(sweeps);
+        self
+    }
+
+    /// Installs a cancellation token.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+}
+
+/// Why a governed computation stopped before finishing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interrupted {
+    /// The [`CancelToken`] was triggered.
+    Cancelled,
+    /// The wall-clock deadline expired.
+    DeadlineExpired,
+    /// The expanded-node work budget ran out.
+    WorkExhausted,
+}
+
+impl std::fmt::Display for Interrupted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Interrupted::Cancelled => write!(f, "cancelled"),
+            Interrupted::DeadlineExpired => write!(f, "wall-clock deadline expired"),
+            Interrupted::WorkExhausted => write!(f, "expanded-node work budget exhausted"),
+        }
+    }
+}
+
+/// One concession the engine made to stay within its [`Budget`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DegradeEvent {
+    /// Decomposition of `node`'s cut function hit the BDD-node ceiling;
+    /// the plain (TurboMap) label update was used for that node instead.
+    BddCeiling {
+        /// Original circuit node whose resynthesis was abandoned.
+        node: usize,
+    },
+    /// The wall-clock deadline expired while probing `phi_abandoned`;
+    /// the search stopped with the best φ proven so far.
+    Deadline {
+        /// φ probe that was cut short.
+        phi_abandoned: i64,
+    },
+    /// The work budget ran out while probing `phi_abandoned`.
+    WorkExhausted {
+        /// φ probe that was cut short.
+        phi_abandoned: i64,
+    },
+    /// The sweep cap cut a probe short; that probe was treated as
+    /// infeasible (the final φ is still verified feasible).
+    SweepCap {
+        /// φ probe whose labeling was truncated.
+        phi: i64,
+        /// Size of the SCC being swept when the cap fired.
+        scc_size: usize,
+    },
+    /// The PLD isolation signal oscillated past its trust window; the
+    /// quadratic backstop decided the probe instead of the fast path.
+    PldAnomaly {
+        /// φ probe in which the anomaly was observed.
+        phi: i64,
+        /// Size of the affected SCC.
+        scc_size: usize,
+    },
+}
+
+impl std::fmt::Display for DegradeEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegradeEvent::BddCeiling { node } => {
+                write!(
+                    f,
+                    "BDD ceiling: node {node} fell back to the plain label update"
+                )
+            }
+            DegradeEvent::Deadline { phi_abandoned } => {
+                write!(f, "deadline expired during the phi={phi_abandoned} probe")
+            }
+            DegradeEvent::WorkExhausted { phi_abandoned } => {
+                write!(
+                    f,
+                    "work budget exhausted during the phi={phi_abandoned} probe"
+                )
+            }
+            DegradeEvent::SweepCap { phi, scc_size } => {
+                write!(
+                    f,
+                    "sweep cap truncated the phi={phi} probe (SCC of {scc_size})"
+                )
+            }
+            DegradeEvent::PldAnomaly { phi, scc_size } => write!(
+                f,
+                "PLD anomaly at phi={phi} (SCC of {scc_size}); quadratic backstop used"
+            ),
+        }
+    }
+}
+
+/// Structured account of what a budgeted run gave up — attached to
+/// [`MapReport`](crate::MapReport) when any concession was made.
+///
+/// The contract: the returned mapping is **verified** at
+/// `phi_achieved` (per-LUT trace equivalence, K-bound, MDR ratio `<=
+/// phi_achieved`), but `phi_achieved` may exceed the true minimum the
+/// unbudgeted algorithm would have found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Degradation {
+    /// Everything that was cut short, in occurrence order (deduplicated).
+    pub events: Vec<DegradeEvent>,
+    /// The φ the returned mapping is verified at; an upper bound on the
+    /// minimum MDR ratio, not necessarily the minimum itself.
+    pub phi_achieved: i64,
+}
+
+/// Run-scoped meter: pairs a [`Budget`] with the run's start time, the
+/// work consumed so far, and the degradation events recorded. Created by
+/// the mappers; exposed so callers of
+/// [`compute_labels_governed`](crate::label::compute_labels_governed)
+/// can govern their own label computations.
+#[derive(Debug)]
+pub struct Gauge {
+    budget: Budget,
+    start: Instant,
+    work: u64,
+    events: Vec<DegradeEvent>,
+}
+
+impl Gauge {
+    /// Starts metering against `budget`; the deadline clock starts now.
+    pub fn new(budget: Budget) -> Self {
+        Gauge {
+            budget,
+            start: Instant::now(),
+            work: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// The budget being enforced.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// Expanded-circuit nodes charged so far.
+    pub fn work(&self) -> u64 {
+        self.work
+    }
+
+    /// Degradation events recorded so far.
+    pub fn events(&self) -> &[DegradeEvent] {
+        &self.events
+    }
+
+    /// Polls the cancellation flag and the deadline.
+    ///
+    /// # Errors
+    ///
+    /// [`Interrupted::Cancelled`] or [`Interrupted::DeadlineExpired`].
+    pub fn check(&self) -> Result<(), Interrupted> {
+        if self.budget.cancel.is_cancelled() {
+            return Err(Interrupted::Cancelled);
+        }
+        if let Some(d) = self.budget.deadline {
+            if self.start.elapsed() >= d {
+                return Err(Interrupted::DeadlineExpired);
+            }
+        }
+        Ok(())
+    }
+
+    /// Charges `nodes` units of expansion work and polls every limit.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Interrupted`] cause; the work counter is charged regardless
+    /// so a later retry cannot launder the overage.
+    pub fn charge(&mut self, nodes: u64) -> Result<(), Interrupted> {
+        self.work = self.work.saturating_add(nodes);
+        self.check()?;
+        if let Some(cap) = self.budget.max_work {
+            if self.work > cap {
+                return Err(Interrupted::WorkExhausted);
+            }
+        }
+        Ok(())
+    }
+
+    /// Records a degradation event (deduplicated).
+    pub fn note(&mut self, event: DegradeEvent) {
+        if !self.events.contains(&event) {
+            self.events.push(event);
+        }
+    }
+
+    /// Consumes the recorded events into a [`Degradation`] report, or
+    /// `None` when the run made no concession.
+    pub fn take_degradation(&mut self, phi_achieved: i64) -> Option<Degradation> {
+        if self.events.is_empty() {
+            return None;
+        }
+        Some(Degradation {
+            events: std::mem::take(&mut self.events),
+            phi_achieved,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_budget_never_interrupts() {
+        let mut g = Gauge::new(Budget::default());
+        g.check().expect("no limits");
+        g.charge(u64::MAX / 2).expect("no work cap");
+        g.charge(u64::MAX / 2).expect("saturates, still no cap");
+        assert!(g.take_degradation(1).is_none());
+    }
+
+    #[test]
+    fn cancel_token_observed_across_clones() {
+        let token = CancelToken::new();
+        let budget = Budget::default().with_cancel(token.clone());
+        let g = Gauge::new(budget);
+        g.check().expect("not yet cancelled");
+        token.cancel();
+        assert_eq!(g.check(), Err(Interrupted::Cancelled));
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn zero_deadline_expires_immediately() {
+        let g = Gauge::new(Budget::default().with_deadline(Duration::ZERO));
+        assert_eq!(g.check(), Err(Interrupted::DeadlineExpired));
+    }
+
+    #[test]
+    fn work_budget_trips_and_stays_tripped() {
+        let mut g = Gauge::new(Budget::default().with_max_work(100));
+        g.charge(60).expect("within budget");
+        assert_eq!(g.charge(60), Err(Interrupted::WorkExhausted));
+        // The overage is not forgotten.
+        assert_eq!(g.charge(0), Err(Interrupted::WorkExhausted));
+        assert_eq!(g.work(), 120);
+    }
+
+    #[test]
+    fn events_deduplicate_and_report() {
+        let mut g = Gauge::new(Budget::default());
+        g.note(DegradeEvent::BddCeiling { node: 7 });
+        g.note(DegradeEvent::BddCeiling { node: 7 });
+        g.note(DegradeEvent::Deadline { phi_abandoned: 2 });
+        let d = g.take_degradation(3).expect("events recorded");
+        assert_eq!(d.events.len(), 2);
+        assert_eq!(d.phi_achieved, 3);
+        assert!(g.take_degradation(3).is_none(), "events were drained");
+    }
+}

@@ -18,7 +18,7 @@
 //! circuits.
 
 use std::collections::HashMap;
-use turbosyn_bdd::{Bdd, Manager};
+use turbosyn_bdd::{Bdd, BddError, Manager};
 use turbosyn_netlist::tt::TruthTable;
 use turbosyn_netlist::{Circuit, NodeId, NodeKind};
 
@@ -286,16 +286,25 @@ impl Expansion {
 
     /// Cut function as a flat truth table (input `i` = `cut[i]`).
     ///
+    /// # Errors
+    ///
+    /// [`BddError::TooManyVars`] when the cut has more than 16 nodes
+    /// (the [`TruthTable`] representation caps out at 16 inputs).
+    ///
     /// # Panics
     ///
-    /// Panics under the same conditions as [`Expansion::cone_bdd`], or if
-    /// the cut has more than 16 nodes.
-    pub fn cone_tt(&self, c: &Circuit, cut: &[usize]) -> TruthTable {
-        assert!(cut.len() <= 16, "cone function over more than 16 inputs");
+    /// Panics under the same conditions as [`Expansion::cone_bdd`].
+    pub fn cone_tt(&self, c: &Circuit, cut: &[usize]) -> Result<TruthTable, BddError> {
+        if cut.len() > 16 {
+            return Err(BddError::TooManyVars {
+                nvars: cut.len() as u32,
+                max: 16,
+            });
+        }
         let mut m = Manager::new();
         let b = self.cone_bdd(c, cut, &mut m);
-        let bits = m.to_truth_table(b, cut.len() as u32);
-        TruthTable::from_bits(cut.len() as u8, &bits)
+        let bits = m.to_truth_table(b, cut.len() as u32)?;
+        Ok(TruthTable::from_bits(cut.len() as u8, &bits))
     }
 }
 
@@ -339,7 +348,7 @@ mod tests {
         // The cheapest cut is the PI itself.
         assert_eq!(e.nodes[cut[0]].orig, 0);
         // Cone function: three inverters = inverter.
-        let tt = e.cone_tt(&c, &cut);
+        let tt = e.cone_tt(&c, &cut).expect("1-input cone fits");
         assert_eq!(tt, TruthTable::inv());
     }
 
@@ -397,7 +406,7 @@ mod tests {
         let e =
             Expansion::build(&c, root, 1, &labels, 2, ExpandLimits::default()).expect("expandable");
         let cut = e.min_cut(16).expect("cut exists");
-        let tt = e.cone_tt(&c, &cut);
+        let tt = e.cone_tt(&c, &cut).expect("cut fits in a truth table");
         assert!(tt.nvars() as usize == cut.len());
         assert!(!tt.support().is_empty());
     }

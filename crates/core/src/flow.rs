@@ -2,8 +2,8 @@
 //! minimization, RASP-style (the paper's TurboSYN was shipped inside the
 //! RASP logic-synthesis system).
 
+use crate::error::SynthesisError;
 use crate::mappers::{flowsyn_s, turbomap, turbosyn, MapOptions, MapReport};
-use crate::verify::VerifyError;
 use turbosyn_netlist::opt::optimize;
 use turbosyn_netlist::stats::CircuitStats;
 use turbosyn_netlist::Circuit;
@@ -21,7 +21,7 @@ pub enum Algorithm {
 }
 
 /// Options for [`synthesize`].
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct FlowOptions {
     /// Mapper selection.
     pub algorithm: Algorithm,
@@ -47,12 +47,10 @@ pub struct FlowReport {
 ///
 /// # Errors
 ///
-/// A [`VerifyError`] if the mapper's self-verification fails (an internal
-/// bug, never expected on valid inputs).
-///
-/// # Panics
-///
-/// Panics if the input circuit fails validation.
+/// [`SynthesisError::InvalidInput`] on bad circuits or options, budget
+/// and cancellation variants when [`MapOptions::budget`] runs out, and
+/// [`SynthesisError::Verify`] if the mapper's self-verification fails
+/// (an internal bug, never expected on valid inputs).
 ///
 /// # Example
 ///
@@ -66,8 +64,10 @@ pub struct FlowReport {
 /// # Ok(())
 /// # }
 /// ```
-pub fn synthesize(circuit: &Circuit, opts: &FlowOptions) -> Result<FlowReport, VerifyError> {
-    circuit.validate().expect("input circuit must be valid");
+pub fn synthesize(circuit: &Circuit, opts: &FlowOptions) -> Result<FlowReport, SynthesisError> {
+    circuit
+        .validate()
+        .map_err(|e| SynthesisError::InvalidInput(e.to_string()))?;
     let input_stats = CircuitStats::of(circuit);
     let (clean, cleaned) = if opts.cleanup {
         optimize(circuit)

@@ -20,8 +20,10 @@
 //! comparison experiment). SCCs are processed in topological order, as
 //! required by the paper's Theorem 2.
 
+use crate::budget::{Budget, DegradeEvent, Gauge, Interrupted};
 use crate::expand::{ExpandFail, ExpandLimits, Expansion};
 use crate::pld::scc_isolated;
+use turbosyn_bdd::BddError;
 use turbosyn_graph::scc::condensation;
 use turbosyn_netlist::{Circuit, NodeId, NodeKind};
 
@@ -61,6 +63,11 @@ pub struct LabelOptions {
     /// technique): re-realize resynthesized roots as plain cuts at relaxed
     /// heights where consumer budgets allow.
     pub relax: bool,
+    /// Per-decomposition BDD-node ceiling; a resynthesis attempt that
+    /// exceeds it falls back to the plain label update. Part of the
+    /// options (not the run-scoped gauge) so mapping generation replays
+    /// the exact decisions the label search made.
+    pub max_bdd_nodes: Option<usize>,
 }
 
 impl LabelOptions {
@@ -75,6 +82,7 @@ impl LabelOptions {
             cmax: 15,
             max_wires: 1,
             relax: true,
+            max_bdd_nodes: None,
         }
     }
 
@@ -138,6 +146,10 @@ impl LabelOutcome {
 /// One label update for node `v` (already knowing `big_l = L(v)`):
 /// returns the new label and whether resynthesis was the enabler.
 /// Exposed crate-wide so mapping generation replays the same decision.
+///
+/// Budget interruptions abort the whole probe (`Err`) — they never alter
+/// the label decision itself, which keeps governed and ungoverned runs
+/// decision-identical up to the abort point.
 pub(crate) fn label_candidate(
     c: &Circuit,
     v: usize,
@@ -145,24 +157,26 @@ pub(crate) fn label_candidate(
     labels: &[i64],
     opts: &LabelOptions,
     stats: &mut LabelStats,
-) -> i64 {
+    gauge: &mut Gauge,
+) -> Result<i64, Interrupted> {
     // Flow test: K-cut of height <= L(v)?
     stats.cut_tests += 1;
     match Expansion::build(c, v, opts.phi, labels, big_l, opts.expand) {
         Ok(exp) => {
+            gauge.charge(exp.nodes.len() as u64)?;
             if exp.min_cut(opts.k).is_some() {
-                return big_l;
+                return Ok(big_l);
             }
             if opts.resynthesis {
                 stats.resyn_attempts += 1;
-                if resyn_succeeds(c, v, big_l, labels, opts) {
+                if resyn_realization(c, v, big_l, labels, opts, gauge)?.is_some() {
                     stats.resyn_successes += 1;
-                    return big_l;
+                    return Ok(big_l);
                 }
             }
-            big_l + 1
+            Ok(big_l + 1)
         }
-        Err(ExpandFail::PiMustBeInside) => big_l + 1,
+        Err(ExpandFail::PiMustBeInside) => Ok(big_l + 1),
     }
 }
 
@@ -170,13 +184,19 @@ pub(crate) fn label_candidate(
 /// `L(v) − h` for growing `h`, capped at `Cmax` inputs, each tried for
 /// decomposition to root label `L(v)`. Returns the realization so that
 /// mapping generation can replay the exact same decision.
+///
+/// A decomposition that trips the [`LabelOptions::max_bdd_nodes`]
+/// ceiling makes the whole descent give up (`Ok(None)`, with a
+/// [`DegradeEvent::BddCeiling`] noted): deeper descents only grow the
+/// cut function, so retrying below a blown ceiling is pointless.
 pub(crate) fn resyn_realization(
     c: &Circuit,
     v: usize,
     big_l: i64,
     labels: &[i64],
     opts: &LabelOptions,
-) -> Option<crate::seqdecomp::Realization> {
+    gauge: &mut Gauge,
+) -> Result<Option<crate::seqdecomp::Realization>, Interrupted> {
     // Consecutive descent heights often yield the same min-cut; skip the
     // (expensive) decomposition retry when nothing changed.
     let mut last_cut: Option<Vec<(usize, i64)>> = None;
@@ -184,12 +204,15 @@ pub(crate) fn resyn_realization(
         let height = big_l - h;
         let exp = match Expansion::build(c, v, opts.phi, labels, height, opts.expand) {
             Ok(exp) => exp,
-            Err(ExpandFail::PiMustBeInside) => return None,
+            Err(ExpandFail::PiMustBeInside) => return Ok(None),
         };
-        let cut = exp.min_cut(opts.cmax)?; // None: cut-size > Cmax (give up)
+        gauge.charge(exp.nodes.len() as u64)?;
+        let Some(cut) = exp.min_cut(opts.cmax) else {
+            return Ok(None); // cut-size > Cmax (give up)
+        };
         if cut.len() <= opts.k && exp.cut_height(&cut, opts.phi, labels) <= big_l {
             // Narrow enough already (the deeper min-cut shrank below K).
-            return Some(crate::seqdecomp::Realization::from_cut(&exp, c, &cut));
+            return Ok(Some(crate::seqdecomp::Realization::from_cut(&exp, c, &cut)));
         }
         let mut key: Vec<(usize, i64)> = cut
             .iter()
@@ -200,7 +223,7 @@ pub(crate) fn resyn_realization(
             continue; // identical cut function and criticalities: same verdict
         }
         last_cut = Some(key);
-        if let Some(r) = crate::seqdecomp::resynthesize_wires(
+        match crate::seqdecomp::resynthesize_wires(
             &exp,
             c,
             &cut,
@@ -209,23 +232,67 @@ pub(crate) fn resyn_realization(
             big_l,
             opts.k,
             opts.max_wires,
+            opts.max_bdd_nodes,
         ) {
-            return Some(r);
+            Ok(Some(r)) => return Ok(Some(r)),
+            Ok(None) => {}
+            Err(BddError::NodeLimit { .. }) => {
+                // Graceful degradation: this node keeps the plain TurboMap
+                // update; the mapping stays valid at a possibly higher φ.
+                gauge.note(DegradeEvent::BddCeiling { node: v });
+                return Ok(None);
+            }
+            // Argument-class errors are unreachable here (bound sets come
+            // from the live support, wires are validated); treat any
+            // residual case as "no realization" rather than aborting.
+            Err(_) => return Ok(None),
         }
     }
-    None
-}
-
-fn resyn_succeeds(c: &Circuit, v: usize, big_l: i64, labels: &[i64], opts: &LabelOptions) -> bool {
-    resyn_realization(c, v, big_l, labels, opts).is_some()
+    Ok(None)
 }
 
 /// Runs the iterative label computation for target ratio `opts.phi`.
+///
+/// Convenience wrapper over [`compute_labels_governed`] with an
+/// unlimited budget — it can never be interrupted.
 ///
 /// # Panics
 ///
 /// Panics if the circuit is invalid or not K-bounded for `opts.k`.
 pub fn compute_labels(c: &Circuit, opts: &LabelOptions) -> LabelOutcome {
+    let mut gauge = Gauge::new(Budget::default());
+    compute_labels_governed(c, opts, &mut gauge).expect("an unlimited budget never interrupts")
+}
+
+/// Runs the iterative label computation for target ratio `opts.phi`
+/// under a resource [`Gauge`].
+///
+/// Governance is polled once per sweep and charged per expanded node,
+/// so overshoot past an exhausted budget is bounded by a single sweep.
+/// Two degradations are *soundness-preserving* (they can only declare a
+/// feasible φ infeasible, never the reverse, so the binary search above
+/// settles on a φ whose labels genuinely converged):
+///
+/// - `max_sweeps` in the gauge's budget caps total sweeps for this call
+///   (noted as [`DegradeEvent::SweepCap`]);
+/// - a PLD isolation signal that oscillates more often than the
+///   detection window allows is treated as an anomaly: PLD is disabled
+///   for that SCC (noted as [`DegradeEvent::PldAnomaly`]) and the
+///   conservative `n²` sweep bound becomes the stopping rule.
+///
+/// # Errors
+///
+/// [`Interrupted`] when the gauge's cancel token fires, its deadline
+/// expires, or its work budget runs out.
+///
+/// # Panics
+///
+/// Panics if the circuit is invalid or not K-bounded for `opts.k`.
+pub fn compute_labels_governed(
+    c: &Circuit,
+    opts: &LabelOptions,
+    gauge: &mut Gauge,
+) -> Result<LabelOutcome, Interrupted> {
     c.validate().expect("circuit must be valid");
     assert!(
         c.is_k_bounded(opts.k),
@@ -277,11 +344,34 @@ pub fn compute_labels(c: &Circuit, opts: &LabelOptions) -> LabelOutcome {
         // row.
         let isolation_trigger = nn.min(32) + 2;
         let mut consecutive_isolated = 0u64;
+        // PLD anomaly tracking: an isolation signal that keeps flipping
+        // back off is not behaving like a persisting positive loop. After
+        // too many flips we stop trusting it for this SCC and fall back to
+        // the quadratic sweep bound above.
+        let mut isolation_resets = 0u64;
+        let mut pld_disabled = false;
 
         let mut sweep = 0u64;
         loop {
+            gauge.check()?;
             sweep += 1;
             stats.sweeps += 1;
+            if let Some(cap) = gauge.budget().max_sweeps {
+                if stats.sweeps > cap {
+                    // Degrade conservatively: report this φ infeasible.
+                    // The search settles on a larger φ whose labels
+                    // converged within the cap, so the result stays a
+                    // verified upper bound.
+                    gauge.note(DegradeEvent::SweepCap {
+                        phi: opts.phi,
+                        scc_size: members.len(),
+                    });
+                    return Ok(LabelOutcome::Infeasible {
+                        stats,
+                        scc_size: members.len(),
+                    });
+                }
+            }
             let mut changed = false;
             for &v in &members {
                 let big_l = c
@@ -296,7 +386,7 @@ pub fn compute_labels(c: &Circuit, opts: &LabelOptions) -> LabelOutcome {
                 if labels[v] > big_l {
                     continue;
                 }
-                let cand = label_candidate(c, v, big_l, &labels, opts, &mut stats).max(1);
+                let cand = label_candidate(c, v, big_l, &labels, opts, &mut stats, gauge)?.max(1);
                 if cand > labels[v] {
                     labels[v] = cand;
                     changed = true;
@@ -311,28 +401,38 @@ pub fn compute_labels(c: &Circuit, opts: &LabelOptions) -> LabelOutcome {
                 // upstream, already-converged labels.
                 break;
             }
-            if opts.stop == StopRule::Pld {
+            if opts.stop == StopRule::Pld && !pld_disabled {
                 if scc_isolated(&g, &labels, opts.phi, &is_anchor, &members) {
                     consecutive_isolated += 1;
                     if consecutive_isolated >= isolation_trigger {
-                        return LabelOutcome::Infeasible {
+                        return Ok(LabelOutcome::Infeasible {
                             stats,
                             scc_size: members.len(),
-                        };
+                        });
                     }
                 } else {
+                    if consecutive_isolated > 0 {
+                        isolation_resets += 1;
+                        if isolation_resets > isolation_trigger {
+                            pld_disabled = true;
+                            gauge.note(DegradeEvent::PldAnomaly {
+                                phi: opts.phi,
+                                scc_size: members.len(),
+                            });
+                        }
+                    }
                     consecutive_isolated = 0;
                 }
             }
             if sweep >= sweep_cap {
-                return LabelOutcome::Infeasible {
+                return Ok(LabelOutcome::Infeasible {
                     stats,
                     scc_size: members.len(),
-                };
+                });
             }
         }
     }
-    LabelOutcome::Feasible { labels, stats }
+    Ok(LabelOutcome::Feasible { labels, stats })
 }
 
 #[cfg(test)]

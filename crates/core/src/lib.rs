@@ -25,6 +25,13 @@
 //! cycle-accurate equivalence by co-simulation, K-boundedness, and the
 //! claimed ratio ([`verify`]).
 //!
+//! All mappers run under a resource-governance layer ([`budget`]): a
+//! [`Budget`] caps wall-clock time, expansion work, BDD nodes and
+//! labeling sweeps, a [`CancelToken`] allows cooperative cancellation,
+//! and on exhaustion the engine degrades to the best verified mapping it
+//! can still guarantee (reported via [`Degradation`]) instead of
+//! panicking or spinning. Failures surface as typed [`SynthesisError`]s.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -48,6 +55,8 @@
 #![warn(missing_docs)]
 
 pub mod area;
+pub mod budget;
+pub mod error;
 pub mod expand;
 pub mod flow;
 pub mod label;
@@ -57,8 +66,12 @@ pub mod pld;
 pub mod seqdecomp;
 pub mod verify;
 
+pub use budget::{Budget, CancelToken, Degradation, DegradeEvent, Gauge, Interrupted};
+pub use error::SynthesisError;
 pub use expand::ExpandLimits;
-pub use label::{compute_labels, LabelOptions, LabelOutcome, LabelStats, StopRule};
+pub use label::{
+    compute_labels, compute_labels_governed, LabelOptions, LabelOutcome, LabelStats, StopRule,
+};
 pub use mapgen::generate_mapping;
 pub use mappers::{flowsyn_s, map_combinational, turbomap, turbosyn, MapOptions, MapReport};
 pub use verify::{verify_mapping, VerifyError};

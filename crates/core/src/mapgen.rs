@@ -59,7 +59,12 @@ pub(crate) fn realize(
         return Err(MapGenError::Unrealizable { node: v });
     }
     if opts.resynthesis {
-        if let Some(r) = resyn_realization(c, v, h, labels, opts) {
+        // Replay runs ungoverned: every decision the label search made is
+        // determined by `opts` alone (including `max_bdd_nodes`, which is
+        // part of the options precisely so the replay trips the same BDD
+        // ceilings), so a throwaway unlimited gauge reproduces it exactly.
+        let mut replay = crate::budget::Gauge::new(crate::budget::Budget::default());
+        if let Ok(Some(r)) = resyn_realization(c, v, h, labels, opts, &mut replay) {
             return Ok(r);
         }
     }

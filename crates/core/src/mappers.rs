@@ -17,10 +17,12 @@
 //! pipelined to the reported clock period.
 
 use crate::area;
+use crate::budget::{Budget, Degradation, DegradeEvent, Gauge, Interrupted};
+use crate::error::SynthesisError;
 use crate::expand::ExpandLimits;
-use crate::label::{compute_labels, LabelOptions, LabelOutcome, LabelStats, StopRule};
+use crate::label::{compute_labels_governed, LabelOptions, LabelOutcome, LabelStats, StopRule};
 use crate::mapgen::generate_mapping;
-use crate::verify::{verify_mapping, VerifyError};
+use crate::verify::verify_mapping;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 use turbosyn_netlist::kbound::decompose_to_k;
@@ -28,7 +30,7 @@ use turbosyn_netlist::{Circuit, Fanin, NodeId, NodeKind};
 use turbosyn_retime::{mdr_ratio, period_lower_bound, retime_with_pipelining};
 
 /// Tunables shared by all mappers.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct MapOptions {
     /// LUT input count K (the paper's experiments use 5).
     pub k: usize,
@@ -53,6 +55,13 @@ pub struct MapOptions {
     pub minimize_registers: bool,
     /// Cycles of post-mapping co-simulation used for verification.
     pub verify_cycles: usize,
+    /// Resource budget for the whole run: wall clock, expansion work,
+    /// per-decomposition BDD nodes, labeling sweeps, and a cancel token.
+    /// Defaults to unlimited. On exhaustion the mappers degrade to the
+    /// best already-verified mapping (reported via
+    /// [`MapReport::degradation`]) or fail with a typed
+    /// [`SynthesisError`] if no sound result exists yet.
+    pub budget: Budget,
 }
 
 impl Default for MapOptions {
@@ -67,6 +76,7 @@ impl Default for MapOptions {
             pack: true,
             minimize_registers: false,
             verify_cycles: 48,
+            budget: Budget::default(),
         }
     }
 }
@@ -90,7 +100,26 @@ impl MapOptions {
             cmax: self.cmax,
             max_wires: self.max_wires,
             relax: self.relax,
+            max_bdd_nodes: self.budget.max_bdd_nodes,
         }
+    }
+
+    /// Rejects option combinations the engine does not support, instead
+    /// of hitting internal assertions later.
+    fn validate(&self) -> Result<(), SynthesisError> {
+        if !(2..=16).contains(&self.k) {
+            return Err(SynthesisError::InvalidInput(format!(
+                "K = {} out of the supported range 2..=16",
+                self.k
+            )));
+        }
+        if !(1..=2).contains(&self.max_wires) {
+            return Err(SynthesisError::InvalidInput(format!(
+                "max_wires = {} out of the supported range 1..=2",
+                self.max_wires
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -120,19 +149,32 @@ pub struct MapReport {
     pub probes: Vec<(i64, bool)>,
     /// Wall-clock time of the whole run.
     pub elapsed: Duration,
+    /// What resource governance cut short, if anything. `None` means the
+    /// run was exact; `Some` means the reported φ is a *verified upper
+    /// bound* — the mapping is sound and meets it, but a smaller ratio
+    /// might have been found with more resources.
+    pub degradation: Option<Degradation>,
 }
 
 /// Shared driver: binary search the minimum feasible integer φ, map at
-/// it, clean up, verify, retime.
+/// it, clean up, verify, retime — all under the caller's [`Gauge`].
+///
+/// Degradation protocol: a budget interruption mid-search keeps the best
+/// already-proven-feasible φ and reports what was abandoned; with no
+/// feasible probe completed yet it becomes a hard
+/// [`SynthesisError::BudgetExceeded`]. Cancellation is always hard.
 fn drive(
     algorithm: &'static str,
     input: &Circuit,
     opts: &MapOptions,
     resynthesis: bool,
     ub_hint: Option<i64>,
-) -> Result<MapReport, VerifyError> {
+    gauge: &mut Gauge,
+) -> Result<MapReport, SynthesisError> {
     let start = Instant::now();
-    let c = prepare(input, opts.k);
+    opts.validate()?;
+    let c = prepare(input, opts.k)?;
+    gauge.check()?; // a pre-cancelled token / zero deadline fails fast
 
     let mut stats = LabelStats::default();
     let mut probes = Vec::new();
@@ -146,7 +188,14 @@ fn drive(
     let mut hi = ub;
     while lo <= hi {
         let mid = lo + (hi - lo) / 2;
-        let out = compute_labels(&c, &opts.labels_for(mid, resynthesis));
+        let out = match compute_labels_governed(&c, &opts.labels_for(mid, resynthesis), gauge) {
+            Ok(out) => out,
+            Err(i) => match interrupt_policy(i, best.is_some(), mid, gauge)? {
+                // Budget ran out but a verified-feasible φ exists: stop
+                // searching and ship that one.
+                SearchCut::KeepBest => break,
+            },
+        };
         stats = add_stats(stats, out.stats());
         probes.push((mid, out.is_feasible()));
         match out {
@@ -160,24 +209,43 @@ fn drive(
     let (phi, labels) = match best {
         Some(b) => b,
         None => {
-            // The upper bound must be feasible; recompute as a fallback
-            // (only reachable if ub_hint was too optimistic).
-            let mut phi = ub + 1;
-            loop {
-                let out = compute_labels(&c, &opts.labels_for(phi, resynthesis));
+            // The upper bound must be feasible; probe upwards as a
+            // fallback (reachable if ub_hint was too optimistic, or if
+            // sweep caps degraded every probe to "infeasible"). Capped:
+            // under tight caps nothing may ever converge.
+            let mut found = None;
+            for phi in (ub + 1)..=(ub + 64) {
+                let out = compute_labels_governed(&c, &opts.labels_for(phi, resynthesis), gauge)?;
                 stats = add_stats(stats, out.stats());
                 probes.push((phi, out.is_feasible()));
                 if let LabelOutcome::Feasible { labels, .. } = out {
-                    break (phi, labels);
+                    found = Some((phi, labels));
+                    break;
                 }
-                phi += 1;
+            }
+            match found {
+                Some(b) => b,
+                None if gauge.budget().max_sweeps.is_some() => {
+                    return Err(SynthesisError::BudgetExceeded {
+                        what: "labeling sweep cap: no φ probe converged".into(),
+                    })
+                }
+                None => {
+                    return Err(SynthesisError::Internal(format!(
+                        "no feasible ratio found in [1, {}]",
+                        ub + 64
+                    )))
+                }
             }
         }
     };
 
+    // Mapping generation + verification run to completion even past a
+    // deadline: the search already committed to φ, and a verified result
+    // beats a wasted run (bounded soft overshoot, documented on Budget).
     let lopts = opts.labels_for(phi, resynthesis);
-    let mut mapped =
-        generate_mapping(&c, &labels, &lopts).map_err(|e| VerifyError::Invalid(e.to_string()))?;
+    let mut mapped = generate_mapping(&c, &labels, &lopts)
+        .map_err(|e| SynthesisError::Internal(e.to_string()))?;
     area::sweep(&mut mapped);
     if opts.pack {
         area::pack(&mut mapped, opts.k);
@@ -198,7 +266,35 @@ fn drive(
         stats,
         probes,
         elapsed: start.elapsed(),
+        degradation: gauge.take_degradation(phi),
     })
+}
+
+/// How the φ search reacts to a budget interruption at probe `phi`.
+enum SearchCut {
+    /// Stop the search and keep the best verified-feasible φ found.
+    KeepBest,
+}
+
+fn interrupt_policy(
+    i: Interrupted,
+    have_best: bool,
+    phi: i64,
+    gauge: &mut Gauge,
+) -> Result<SearchCut, SynthesisError> {
+    match i {
+        // Cancellation is a hard stop regardless of partial results.
+        Interrupted::Cancelled => Err(SynthesisError::Cancelled),
+        _ if !have_best => Err(i.into()),
+        Interrupted::DeadlineExpired => {
+            gauge.note(DegradeEvent::Deadline { phi_abandoned: phi });
+            Ok(SearchCut::KeepBest)
+        }
+        Interrupted::WorkExhausted => {
+            gauge.note(DegradeEvent::WorkExhausted { phi_abandoned: phi });
+            Ok(SearchCut::KeepBest)
+        }
+    }
 }
 
 /// Optional exact register minimization of the final (already pipelined)
@@ -223,12 +319,13 @@ fn add_stats(a: LabelStats, b: LabelStats) -> LabelStats {
 }
 
 /// K-bounds the input if needed (the paper assumes this preprocessing).
-fn prepare(c: &Circuit, k: usize) -> Circuit {
-    c.validate().expect("input circuit must be valid");
+fn prepare(c: &Circuit, k: usize) -> Result<Circuit, SynthesisError> {
+    c.validate()
+        .map_err(|e| SynthesisError::InvalidInput(e.to_string()))?;
     if c.is_k_bounded(k) {
-        c.clone()
+        Ok(c.clone())
     } else {
-        decompose_to_k(c, k)
+        Ok(decompose_to_k(c, k))
     }
 }
 
@@ -237,10 +334,14 @@ fn prepare(c: &Circuit, k: usize) -> Circuit {
 ///
 /// # Errors
 ///
-/// A [`VerifyError`] if the produced mapping fails its own verification
-/// (indicates an internal bug, never expected on valid inputs).
-pub fn turbomap(c: &Circuit, opts: &MapOptions) -> Result<MapReport, VerifyError> {
-    drive("TurboMap", c, opts, false, None)
+/// [`SynthesisError::InvalidInput`] on bad circuits or options;
+/// [`SynthesisError::BudgetExceeded`] / [`SynthesisError::Cancelled`]
+/// when [`MapOptions::budget`] runs out before any verified mapping
+/// exists; [`SynthesisError::Verify`] if the produced mapping fails its
+/// own verification (an internal bug, never expected on valid inputs).
+pub fn turbomap(c: &Circuit, opts: &MapOptions) -> Result<MapReport, SynthesisError> {
+    let mut gauge = Gauge::new(opts.budget.clone());
+    drive("TurboMap", c, opts, false, None, &mut gauge)
 }
 
 /// TurboSYN (the paper): mapping with retiming, pipelining and
@@ -249,10 +350,14 @@ pub fn turbomap(c: &Circuit, opts: &MapOptions) -> Result<MapReport, VerifyError
 ///
 /// # Errors
 ///
-/// A [`VerifyError`] if the produced mapping fails its own verification.
-pub fn turbosyn(c: &Circuit, opts: &MapOptions) -> Result<MapReport, VerifyError> {
+/// Same contract as [`turbomap`]. The TurboMap prepass and the main
+/// search share one budget; a budget cut in the prepass just leaves the
+/// search with a looser upper bound.
+pub fn turbosyn(c: &Circuit, opts: &MapOptions) -> Result<MapReport, SynthesisError> {
+    opts.validate()?;
     // Upper bound from TurboMap's label search (labels only — cheap).
-    let prep = prepare(c, opts.k);
+    let prep = prepare(c, opts.k)?;
+    let mut gauge = Gauge::new(opts.budget.clone());
     let tm_ub = period_lower_bound(&prep).max(1);
     let mut ub = tm_ub;
     // Find TurboMap's minimum phi to tighten the search range.
@@ -260,14 +365,19 @@ pub fn turbosyn(c: &Circuit, opts: &MapOptions) -> Result<MapReport, VerifyError
     let mut hi = tm_ub;
     while lo <= hi {
         let mid = lo + (hi - lo) / 2;
-        if compute_labels(&prep, &opts.labels_for(mid, false)).is_feasible() {
-            ub = mid;
-            hi = mid - 1;
-        } else {
-            lo = mid + 1;
+        match compute_labels_governed(&prep, &opts.labels_for(mid, false), &mut gauge) {
+            Ok(out) if out.is_feasible() => {
+                ub = mid;
+                hi = mid - 1;
+            }
+            Ok(_) => lo = mid + 1,
+            Err(Interrupted::Cancelled) => return Err(SynthesisError::Cancelled),
+            // The prepass only tightens the bound; on exhaustion keep the
+            // looser ub and let drive() report the degradation.
+            Err(_) => break,
         }
     }
-    drive("TurboSYN", c, opts, true, Some(ub))
+    drive("TurboSYN", c, opts, true, Some(ub), &mut gauge)
 }
 
 /// FlowMap / FlowSYN for a combinational circuit: returns the mapped
@@ -275,30 +385,39 @@ pub fn turbosyn(c: &Circuit, opts: &MapOptions) -> Result<MapReport, VerifyError
 ///
 /// # Errors
 ///
-/// A [`VerifyError`] on verification failure.
-///
-/// # Panics
-///
-/// Panics if the circuit contains registers.
+/// [`SynthesisError::InvalidInput`] if the circuit contains registers or
+/// fails validation; otherwise the same contract as [`turbomap`].
 pub fn map_combinational(
     c: &Circuit,
     opts: &MapOptions,
     resynthesis: bool,
-) -> Result<(Circuit, i64), VerifyError> {
-    assert!(
-        c.node_ids()
-            .all(|id| c.node(id).fanins.iter().all(|f| f.weight == 0)),
-        "map_combinational requires a register-free circuit"
-    );
-    let prep = prepare(c, opts.k);
+) -> Result<(Circuit, i64), SynthesisError> {
+    opts.validate()?;
+    if !c
+        .node_ids()
+        .all(|id| c.node(id).fanins.iter().all(|f| f.weight == 0))
+    {
+        return Err(SynthesisError::InvalidInput(
+            "map_combinational requires a register-free circuit".into(),
+        ));
+    }
+    let prep = prepare(c, opts.k)?;
+    let mut gauge = Gauge::new(opts.budget.clone());
     // With zero register weights the sequential labeler *is* FlowMap: φ
     // is irrelevant (no weights), and every φ is feasible on a DAG.
     let lopts = opts.labels_for(1, resynthesis);
-    let LabelOutcome::Feasible { labels, .. } = compute_labels(&prep, &lopts) else {
-        unreachable!("combinational circuits are always feasible")
+    let labels = match compute_labels_governed(&prep, &lopts, &mut gauge)? {
+        LabelOutcome::Feasible { labels, .. } => labels,
+        // Combinational circuits are always feasible; only a sweep cap
+        // can degrade the outcome to "infeasible".
+        LabelOutcome::Infeasible { .. } => {
+            return Err(SynthesisError::BudgetExceeded {
+                what: "labeling sweep cap".into(),
+            })
+        }
     };
     let mut mapped = generate_mapping(&prep, &labels, &lopts)
-        .map_err(|e| VerifyError::Invalid(e.to_string()))?;
+        .map_err(|e| SynthesisError::Internal(e.to_string()))?;
     area::sweep(&mut mapped);
     if opts.pack {
         area::pack(&mut mapped, opts.k);
@@ -316,10 +435,12 @@ pub fn map_combinational(
 ///
 /// # Errors
 ///
-/// A [`VerifyError`] on verification failure.
-pub fn flowsyn_s(c: &Circuit, opts: &MapOptions) -> Result<MapReport, VerifyError> {
+/// Same contract as [`turbomap`].
+pub fn flowsyn_s(c: &Circuit, opts: &MapOptions) -> Result<MapReport, SynthesisError> {
     let start = Instant::now();
-    let prep = prepare(c, opts.k);
+    opts.validate()?;
+    let prep = prepare(c, opts.k)?;
+    let mut gauge = Gauge::new(opts.budget.clone());
 
     // --- Split at registers -------------------------------------------
     // Pseudo-PI per distinct (source, weight>0) pair; every register
@@ -381,11 +502,18 @@ pub fn flowsyn_s(c: &Circuit, opts: &MapOptions) -> Result<MapReport, VerifyErro
 
     // --- Map the combinational network with FlowSYN --------------------
     let lopts = opts.labels_for(1, true);
-    let LabelOutcome::Feasible { labels, .. } = compute_labels(&comb, &lopts) else {
-        unreachable!("combinational circuits are always feasible")
+    let labels = match compute_labels_governed(&comb, &lopts, &mut gauge)? {
+        LabelOutcome::Feasible { labels, .. } => labels,
+        // The split network is acyclic, hence always feasible; only a
+        // sweep cap can degrade the outcome.
+        LabelOutcome::Infeasible { .. } => {
+            return Err(SynthesisError::BudgetExceeded {
+                what: "labeling sweep cap".into(),
+            })
+        }
     };
     let mut mapped_comb = generate_mapping(&comb, &labels, &lopts)
-        .map_err(|e| VerifyError::Invalid(e.to_string()))?;
+        .map_err(|e| SynthesisError::Internal(e.to_string()))?;
     area::sweep(&mut mapped_comb);
     if opts.pack {
         area::pack(&mut mapped_comb, opts.k);
@@ -488,6 +616,7 @@ pub fn flowsyn_s(c: &Circuit, opts: &MapOptions) -> Result<MapReport, VerifyErro
         stats: LabelStats::default(),
         probes: Vec::new(),
         elapsed: start.elapsed(),
+        degradation: gauge.take_degradation(phi),
     })
 }
 

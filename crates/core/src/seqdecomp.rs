@@ -20,7 +20,7 @@
 
 use crate::expand::{ExpNode, Expansion};
 use turbosyn_bdd::decompose::{decompose, recompose};
-use turbosyn_bdd::{Bdd, Manager};
+use turbosyn_bdd::{Bdd, BddError, Manager};
 use turbosyn_netlist::tt::TruthTable;
 use turbosyn_netlist::Circuit;
 
@@ -59,8 +59,18 @@ pub struct Realization {
 
 impl Realization {
     /// A single-LUT realization straight from a K-feasible cut.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cut` has more than 16 nodes — callers only pass
+    /// K-feasible cuts (`K <= 16`), so this is a caller bug, not an input
+    /// condition.
     pub fn from_cut(exp: &Expansion, c: &Circuit, cut: &[usize]) -> Realization {
-        let tt = exp.cone_tt(c, cut);
+        // SAFETY of the expect: every call site obtains `cut` from
+        // `min_cut(k)` with `k <= 16`, the truth-table limit.
+        let tt = exp
+            .cone_tt(c, cut)
+            .expect("K-feasible cut fits in a truth table");
         let inputs = cut
             .iter()
             .map(|&xi| {
@@ -90,6 +100,13 @@ impl Realization {
 /// `k` bounds every LUT's input count. Deterministic and exact: every
 /// extraction is verified by recomposition, and the final tree recomposes
 /// to the original cut function.
+///
+/// # Errors
+///
+/// [`BddError::NodeLimit`] when `bdd_limit` is `Some` and the
+/// decomposition exceeded it — the caller should fall back to the plain
+/// label update (the mappers record a
+/// [`DegradeEvent::BddCeiling`](crate::DegradeEvent::BddCeiling)).
 pub fn resynthesize(
     exp: &Expansion,
     c: &Circuit,
@@ -98,16 +115,24 @@ pub fn resynthesize(
     labels: &[i64],
     height: i64,
     k: usize,
-) -> Option<Realization> {
-    resynthesize_wires(exp, c, cut, phi, labels, height, k, 1)
+) -> Result<Option<Realization>, BddError> {
+    resynthesize_wires(exp, c, cut, phi, labels, height, k, 1, None)
 }
 
 /// Like [`resynthesize`], but allowing up to `max_wires` encoding
-/// functions per extraction (Roth–Karp). The paper uses single-output
-/// decomposition (`max_wires = 1`) and cites multi-output decomposition
-/// \[26\] as future work; `max_wires = 2` implements that extension:
-/// bound sets with column multiplicity up to 4 become two encoder LUTs
-/// feeding the root, trading LUT count for coverable cases.
+/// functions per extraction (Roth–Karp) and an optional BDD-node ceiling
+/// `bdd_limit` for the (fresh, per-call) manager. The paper uses
+/// single-output decomposition (`max_wires = 1`) and cites multi-output
+/// decomposition \[26\] as future work; `max_wires = 2` implements that
+/// extension: bound sets with column multiplicity up to 4 become two
+/// encoder LUTs feeding the root, trading LUT count for coverable cases.
+///
+/// # Errors
+///
+/// [`BddError::NodeLimit`] when the decomposition blew through
+/// `bdd_limit`. Because the manager is created fresh here, the outcome is
+/// deterministic in the inputs and the limit — mapping generation replays
+/// the exact same verdicts the label search saw.
 #[allow(clippy::too_many_arguments)]
 pub fn resynthesize_wires(
     exp: &Expansion,
@@ -118,17 +143,24 @@ pub fn resynthesize_wires(
     height: i64,
     k: usize,
     max_wires: usize,
-) -> Option<Realization> {
+    bdd_limit: Option<usize>,
+) -> Result<Option<Realization>, BddError> {
+    // Locally proven: both the CLI and the mappers validate max_wires
+    // before any labeling starts.
     assert!(
         (1..=2).contains(&max_wires),
         "1 or 2 encoding wires supported"
     );
     let m_inputs = cut.len();
     if m_inputs == 0 {
-        return None;
+        return Ok(None);
     }
     let mut mgr = Manager::new();
+    mgr.set_node_limit(bdd_limit);
     let f = exp.cone_bdd(c, cut, &mut mgr);
+    // The cone construction itself is not budget-polled (manager ops are
+    // infallible); a blown ceiling is caught by the first poll below.
+    mgr.check_budget()?;
 
     // Current root inputs: (BDD variable, signal label λ, source).
     struct Sig {
@@ -153,7 +185,7 @@ pub fn resynthesize_wires(
     let support = mgr.support(f);
     sigs.retain(|s| support.contains(&s.var));
     if sigs.iter().any(|s| s.lambda > height - 1) {
-        return None; // a critical input cannot even feed the root directly
+        return Ok(None); // a critical input cannot even feed the root directly
     }
 
     let mut next_var = m_inputs as u32;
@@ -171,7 +203,7 @@ pub fn resynthesize_wires(
         sigs.sort_by_key(|s| s.lambda);
         let buriable = sigs.iter().filter(|s| s.lambda <= height - 2).count();
         if buriable < 2 {
-            return None;
+            return Ok(None);
         }
         // Try bound sets: windows of the least-critical buriable inputs,
         // largest first (reduces support fastest). Single-wire Ashenhurst
@@ -184,8 +216,10 @@ pub fn resynthesize_wires(
             for size in ((wires + 1)..=k.min(buriable)).rev() {
                 for start in 0..=(buriable - size) {
                     let bound: Vec<u32> = sigs[start..start + size].iter().map(|s| s.var).collect();
-                    let Some(dec) = decompose(&mut mgr, current, &bound, wires, next_var) else {
-                        continue;
+                    let dec = match decompose(&mut mgr, current, &bound, wires, next_var) {
+                        Ok(Some(dec)) => dec,
+                        Ok(None) => continue, // multiplicity too high for `wires`
+                        Err(e) => return Err(e), // budget (or argument) failure
                     };
                     debug_assert_eq!(recompose(&mut mgr, &dec), current);
                     // New signals sit one LUT level above their worst member.
@@ -222,13 +256,13 @@ pub fn resynthesize_wires(
             }
         }
         if !extracted {
-            return None;
+            return Ok(None);
         }
     }
 
     // Root LUT over the remaining signals.
     if sigs.iter().any(|s| s.lambda > height - 1) {
-        return None;
+        return Ok(None);
     }
     let root_vars: Vec<u32> = sigs.iter().map(|s| s.var).collect();
     let root_tt = bdd_to_tt(&mgr, current, &root_vars);
@@ -239,7 +273,7 @@ pub fn resynthesize_wires(
         inputs: root_inputs,
     });
     debug_assert!(luts.iter().all(|l| l.inputs.len() <= k));
-    Some(Realization { luts, root })
+    Ok(Some(Realization { luts, root }))
 }
 
 /// Dumps a BDD whose support is within `vars` as a truth table whose
@@ -315,13 +349,15 @@ mod tests {
             Expansion::build(&c, root, 1, &labels, 2, ExpandLimits::default()).expect("expandable");
         let cut = exp.min_cut(15).expect("wide cut exists");
         assert!(cut.len() > 5, "cut should exceed K=5, got {}", cut.len());
-        let real = resynthesize(&exp, &c, &cut, 1, &labels, 2, 5).expect("decomposes");
+        let real = resynthesize(&exp, &c, &cut, 1, &labels, 2, 5)
+            .expect("no budget installed")
+            .expect("decomposes");
         assert!(real.lut_count() >= 2);
         for lut in &real.luts {
             assert!(lut.inputs.len() <= 5);
         }
         // The realization computes the cone function.
-        let tt = exp.cone_tt(&c, &cut);
+        let tt = exp.cone_tt(&c, &cut).expect("cut fits in a truth table");
         for i in 0..(1u32 << cut.len()) {
             let value_of = |orig: usize, weight: i64| -> bool {
                 let pos = cut
@@ -345,7 +381,9 @@ mod tests {
             Expansion::build(&c, root, 1, &labels, 1, ExpandLimits::default()).expect("expandable");
         let cut = exp.min_cut(15).expect("cut exists");
         assert!(cut.len() > 5, "cut should exceed K=5");
-        assert!(resynthesize(&exp, &c, &cut, 1, &labels, 1, 5).is_none());
+        assert!(resynthesize(&exp, &c, &cut, 1, &labels, 1, 5)
+            .expect("no budget installed")
+            .is_none());
     }
 
     /// A wide AND is always decomposable: chain of ANDs.
@@ -378,8 +416,34 @@ mod tests {
             Expansion::build(&c, root, 1, &labels, 2, ExpandLimits::default()).expect("expandable");
         let cut = exp.min_cut(15).expect("cut exists");
         assert_eq!(cut.len(), 8, "cut is the 8 PIs");
-        let real = resynthesize(&exp, &c, &cut, 1, &labels, 2, 4).expect("AND decomposes");
+        let real = resynthesize(&exp, &c, &cut, 1, &labels, 2, 4)
+            .expect("no budget installed")
+            .expect("AND decomposes");
         assert!(real.luts.iter().all(|l| l.inputs.len() <= 4));
         assert!(real.lut_count() >= 3);
+    }
+
+    /// A starved BDD ceiling surfaces as `Err(NodeLimit)` — the mappers
+    /// turn this into the plain-label-update fallback.
+    #[test]
+    fn tiny_bdd_ceiling_reports_node_limit() {
+        let c = gen::figure1();
+        let labels: Vec<i64> = unit_labels(&c).iter().map(|&l| l * 2).collect();
+        let root = c.find("g1").expect("exists").index();
+        let exp =
+            Expansion::build(&c, root, 1, &labels, 2, ExpandLimits::default()).expect("expandable");
+        let cut = exp.min_cut(15).expect("wide cut exists");
+        let r = resynthesize_wires(&exp, &c, &cut, 1, &labels, 2, 5, 1, Some(1));
+        assert!(
+            matches!(r, Err(BddError::NodeLimit { .. })),
+            "expected a node-limit trip, got {r:?}"
+        );
+        // The same call without a ceiling still succeeds (determinism of
+        // the governed path does not perturb the ungoverned one).
+        assert!(
+            resynthesize_wires(&exp, &c, &cut, 1, &labels, 2, 5, 1, None)
+                .expect("no ceiling")
+                .is_some()
+        );
     }
 }

@@ -23,6 +23,11 @@ use crate::scc::condensation;
 use crate::Digraph;
 use std::cmp::Ordering;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+
+/// A stop flag that never fires; lets [`max_cycle_ratio`] share the
+/// interruptible code path.
+static NEVER: AtomicBool = AtomicBool::new(false);
 
 /// An exact non-negative rational number `num/den` with `den > 0`, kept in
 /// lowest terms.
@@ -209,6 +214,25 @@ fn reaches_scaled(g: &Digraph, delay: &[i64], num: i128, den: i128) -> bool {
 /// Panics if `delay.len() != g.node_count()`, if any delay is negative, or
 /// if any edge weight is negative.
 pub fn max_cycle_ratio(g: &Digraph, delay: &[i64]) -> Result<Ratio, MdrError> {
+    max_cycle_ratio_interruptible(g, delay, &NEVER).expect("a never-set stop flag cannot interrupt")
+}
+
+/// [`max_cycle_ratio`] with a cooperative stop flag, polled once per
+/// Stern–Brocot oracle step. Returns `None` if the flag was observed set
+/// before the ratio was decided.
+///
+/// # Errors
+///
+/// Same conditions as [`max_cycle_ratio`].
+///
+/// # Panics
+///
+/// Same conditions as [`max_cycle_ratio`].
+pub fn max_cycle_ratio_interruptible(
+    g: &Digraph,
+    delay: &[i64],
+    stop: &AtomicBool,
+) -> Option<Result<Ratio, MdrError>> {
     assert_eq!(delay.len(), g.node_count(), "delay table size mismatch");
     assert!(delay.iter().all(|&d| d >= 0), "negative node delay");
     assert!(
@@ -219,7 +243,7 @@ pub fn max_cycle_ratio(g: &Digraph, delay: &[i64]) -> Result<Ratio, MdrError> {
     // Cycle existence.
     let cond = condensation(g);
     if !(0..cond.count()).any(|c| cond.is_cyclic(g, c)) {
-        return Err(MdrError::Acyclic);
+        return Some(Err(MdrError::Acyclic));
     }
 
     // Register-free cycle with positive total delay => unbounded ratio.
@@ -231,7 +255,7 @@ pub fn max_cycle_ratio(g: &Digraph, delay: &[i64]) -> Result<Ratio, MdrError> {
         }
     }
     if has_positive_cycle(&zero_sub, |e| delay[e.to] as i128) {
-        return Err(MdrError::CombinationalCycle);
+        return Some(Err(MdrError::CombinationalCycle));
     }
     // NOTE: a zero-weight cycle whose nodes all have delay 0 contributes
     // ratio 0/0; it is ignored, matching the convention that only
@@ -241,7 +265,7 @@ pub fn max_cycle_ratio(g: &Digraph, delay: &[i64]) -> Result<Ratio, MdrError> {
         // No cycle has positive ratio; the MDR ratio is 0 exactly when some
         // registered cycle exists (guaranteed: the graph is cyclic and has
         // no problematic combinational cycle).
-        return Ok(Ratio::new(0, 1));
+        return Some(Ok(Ratio::new(0, 1)));
     }
 
     // Accelerated Stern–Brocot search. Invariant: lo < λ* < hi, where
@@ -252,6 +276,9 @@ pub fn max_cycle_ratio(g: &Digraph, delay: &[i64]) -> Result<Ratio, MdrError> {
     let mut lo: (i128, i128) = (0, 1);
     let mut hi: (i128, i128) = (1, 0);
     loop {
+        if stop.load(AtomicOrdering::Relaxed) {
+            return None;
+        }
         let m = (lo.0 + hi.0, lo.1 + hi.1);
         if exceeds_scaled(g, delay, m.0, m.1) {
             // Largest k >= 1 with λ* > lo + k·hi (mediant repeated k times).
@@ -262,7 +289,7 @@ pub fn max_cycle_ratio(g: &Digraph, delay: &[i64]) -> Result<Ratio, MdrError> {
             lo = (lo.0 + k * hi.0, lo.1 + k * hi.1);
         } else if reaches_scaled(g, delay, m.0, m.1) {
             let g2 = gcd128(m.0, m.1);
-            return Ok(Ratio::new((m.0 / g2) as i64, (m.1 / g2) as i64));
+            return Some(Ok(Ratio::new((m.0 / g2) as i64, (m.1 / g2) as i64)));
         } else {
             // Largest k >= 1 with λ* < hi + k·lo.
             let k = run_length(|k| {
@@ -429,6 +456,23 @@ mod tests {
     }
 
     #[test]
+    fn pre_set_stop_flag_interrupts_ratio_search() {
+        let mut g = Digraph::new(3);
+        g.add_edge(0, 1, 1);
+        g.add_edge(1, 2, 1);
+        g.add_edge(2, 0, 0);
+        let d = delays(3);
+        assert_eq!(
+            max_cycle_ratio_interruptible(&g, &d, &AtomicBool::new(true)),
+            None
+        );
+        assert_eq!(
+            max_cycle_ratio_interruptible(&g, &d, &AtomicBool::new(false)),
+            Some(Ok(Ratio::new(3, 2)))
+        );
+    }
+
+    #[test]
     fn dag_plus_far_loop() {
         // A loop reachable only through a long feed-forward chain.
         let mut g = Digraph::new(6);
@@ -445,8 +489,7 @@ mod tests {
     /// Brute-force check on random small graphs: enumerate simple cycles.
     #[test]
     fn matches_bruteforce_on_random_graphs() {
-        use rand::prelude::*;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0FFEE);
+        let mut rng = crate::rng::StdRng::seed_from_u64(0xC0FFEE);
         for trial in 0..80 {
             let n = rng.random_range(2..7);
             let m = rng.random_range(1..12);

@@ -24,6 +24,9 @@
 //!   behind exact minimum-register retiming.
 //! * [`reach`] — multi-source reachability used by positive-loop detection
 //!   (predecessor graph isolation test).
+//! * [`rng`] — a tiny deterministic PRNG behind the seeded benchmark
+//!   generators and randomized tests (keeps the workspace free of
+//!   registry dependencies).
 //!
 //! # Example
 //!
@@ -52,6 +55,7 @@ pub mod cycle_ratio;
 pub mod maxflow;
 pub mod mincost;
 pub mod reach;
+pub mod rng;
 pub mod scc;
 pub mod topo;
 

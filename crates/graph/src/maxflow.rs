@@ -8,8 +8,13 @@
 //! on expanded circuits.
 
 use crate::Digraph;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 const INF: u32 = u32::MAX / 2;
+
+/// A stop flag that never fires, used by the uninterruptible entry points
+/// to share one code path with the `_interruptible` variants.
+static NEVER: AtomicBool = AtomicBool::new(false);
 
 #[derive(Debug, Clone)]
 struct Arc {
@@ -101,6 +106,25 @@ impl FlowNetwork {
     ///
     /// Panics if `s == t` or either is out of range.
     pub fn max_flow(&mut self, s: usize, t: usize, limit: u32) -> u32 {
+        self.max_flow_interruptible(s, t, limit, &NEVER)
+            .expect("a never-set stop flag cannot interrupt")
+    }
+
+    /// [`FlowNetwork::max_flow`] with a cooperative stop flag, polled once
+    /// per Dinic BFS phase (so cancellation latency is one phase, not one
+    /// whole flow computation). Returns `None` if the flag was observed
+    /// set; the network is then mid-computation and should be discarded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s == t` or either is out of range.
+    pub fn max_flow_interruptible(
+        &mut self,
+        s: usize,
+        t: usize,
+        limit: u32,
+        stop: &AtomicBool,
+    ) -> Option<u32> {
         assert!(
             s < self.adj.len() && t < self.adj.len(),
             "terminal out of range"
@@ -108,6 +132,9 @@ impl FlowNetwork {
         assert_ne!(s, t, "source and sink must differ");
         let mut flow = 0u32;
         while flow <= limit {
+            if stop.load(Ordering::Relaxed) {
+                return None;
+            }
             if !self.bfs(s, t) {
                 break;
             }
@@ -119,11 +146,11 @@ impl FlowNetwork {
                 }
                 flow += f;
                 if flow > limit {
-                    return flow;
+                    return Some(flow);
                 }
             }
         }
-        flow
+        Some(flow)
     }
 
     fn bfs(&mut self, s: usize, t: usize) -> bool {
@@ -219,6 +246,25 @@ pub fn min_vertex_cut(
     cap: &[u32],
     limit: u32,
 ) -> VertexCut {
+    min_vertex_cut_interruptible(g, sources, sinks, cap, limit, &NEVER)
+        .expect("a never-set stop flag cannot interrupt")
+}
+
+/// [`min_vertex_cut`] with a cooperative stop flag (see
+/// [`FlowNetwork::max_flow_interruptible`]). Returns `None` if the flag
+/// was observed set before the cut was decided.
+///
+/// # Panics
+///
+/// Same conditions as [`min_vertex_cut`].
+pub fn min_vertex_cut_interruptible(
+    g: &Digraph,
+    sources: &[usize],
+    sinks: &[usize],
+    cap: &[u32],
+    limit: u32,
+    stop: &AtomicBool,
+) -> Option<VertexCut> {
     assert_eq!(cap.len(), g.node_count(), "capacity table size mismatch");
     assert!(!sources.is_empty(), "no sources");
     assert!(!sinks.is_empty(), "no sinks");
@@ -254,16 +300,16 @@ pub fn min_vertex_cut(
         net.add_arc(2 * t + 1, tt, INF);
     }
 
-    let flow = net.max_flow(ss, tt, limit);
+    let flow = net.max_flow_interruptible(ss, tt, limit, stop)?;
     if flow > limit {
-        return VertexCut::ExceedsLimit;
+        return Some(VertexCut::ExceedsLimit);
     }
     let side = net.min_cut_source_side(ss);
     let cut: Vec<usize> = (0..n)
         .filter(|&v| side[2 * v] && !side[2 * v + 1])
         .collect();
     debug_assert!(cut.iter().map(|&v| cap[v] as u64).sum::<u64>() == flow as u64);
-    VertexCut::Cut(cut)
+    Some(VertexCut::Cut(cut))
 }
 
 #[cfg(test)]
@@ -384,6 +430,33 @@ mod tests {
             VertexCut::Cut(cut) => assert_eq!(cut, vec![2]),
             VertexCut::ExceedsLimit => panic!("cut expected"),
         }
+    }
+
+    #[test]
+    fn pre_set_stop_flag_interrupts_max_flow() {
+        let stop = AtomicBool::new(true);
+        let mut net = FlowNetwork::new(4);
+        net.add_arc(0, 1, 1);
+        net.add_arc(1, 3, 1);
+        assert_eq!(net.max_flow_interruptible(0, 3, 10, &stop), None);
+    }
+
+    #[test]
+    fn unset_stop_flag_matches_plain_variant() {
+        let stop = AtomicBool::new(false);
+        let mut g = Digraph::new(4);
+        g.add_edge(0, 1, 0);
+        g.add_edge(0, 2, 0);
+        g.add_edge(1, 3, 0);
+        g.add_edge(2, 3, 0);
+        let plain = min_vertex_cut(&g, &[0], &[3], &[1; 4], 5);
+        let inter = min_vertex_cut_interruptible(&g, &[0], &[3], &[1; 4], 5, &stop)
+            .expect("unset flag never interrupts");
+        assert_eq!(plain, inter);
+        assert_eq!(
+            min_vertex_cut_interruptible(&g, &[0], &[3], &[1; 4], 5, &AtomicBool::new(true)),
+            None
+        );
     }
 
     #[test]

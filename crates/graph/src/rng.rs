@@ -1,0 +1,174 @@
+//! A small, deterministic pseudo-random number generator.
+//!
+//! The workspace builds hermetically (no registry dependencies), so the
+//! benchmark generators and randomized tests use this SplitMix64-based
+//! generator instead of an external `rand` crate. The API mirrors the
+//! handful of call shapes the workspace uses (`seed_from_u64`,
+//! `random::<T>()`, `random_range(a..b)`), so call sites read the same.
+//!
+//! Determinism is a hard requirement: circuit generators are seeded and
+//! their output is part of the benchmark identity, so the stream for a
+//! given seed must never change. SplitMix64 is tiny, passes BigCrush, and
+//! has a fixed published recurrence — a safe thing to freeze.
+
+use std::ops::Range;
+
+/// Deterministic PRNG (SplitMix64). The name matches the `rand` type it
+/// replaced so seeded call sites read identically.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl StdRng {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        StdRng { state: seed }
+    }
+
+    /// The next raw 64-bit value (SplitMix64 step).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniformly random value of `T` (`u64`, `u32`, or `bool`).
+    pub fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniformly random integer in `[range.start, range.end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn random_range<T: UniformInt>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range)
+    }
+}
+
+/// Types [`StdRng::random`] can produce.
+pub trait Standard {
+    /// Draws one uniformly random value.
+    fn sample(rng: &mut StdRng) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample(rng: &mut StdRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample(rng: &mut StdRng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample(rng: &mut StdRng) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+/// Integer types [`StdRng::random_range`] can sample.
+pub trait UniformInt: Copy {
+    /// Draws a uniform value in `[range.start, range.end)`.
+    fn sample_range(rng: &mut StdRng, range: Range<Self>) -> Self;
+}
+
+/// Uniform draw from `[0, n)` by widening multiply (Lemire's method minus
+/// the rejection step; the bias is < n/2^64, irrelevant for test data).
+fn below(rng: &mut StdRng, n: u64) -> u64 {
+    assert!(n > 0, "empty random_range");
+    (((rng.next_u64() as u128) * (n as u128)) >> 64) as u64
+}
+
+macro_rules! impl_uniform_unsigned {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample_range(rng: &mut StdRng, range: Range<Self>) -> Self {
+                let span = (range.end as u64).checked_sub(range.start as u64)
+                    .filter(|&s| s > 0)
+                    .expect("empty random_range");
+                range.start + below(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_uniform_signed {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample_range(rng: &mut StdRng, range: Range<Self>) -> Self {
+                let span = (range.end as i64).wrapping_sub(range.start as i64);
+                assert!(span > 0, "empty random_range");
+                let off = below(rng, span as u64) as i64;
+                ((range.start as i64) + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_signed!(i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = StdRng::seed_from_u64(123);
+        for _ in 0..1000 {
+            let v: usize = rng.random_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: i64 = rng.random_range(-5..5);
+            assert!((-5..5).contains(&w));
+            let u: u32 = rng.random_range(0..2);
+            assert!(u < 2);
+        }
+    }
+
+    #[test]
+    fn all_range_values_hit() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = [false; 10];
+        for _ in 0..500 {
+            seen[rng.random_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "uniform draw misses values");
+    }
+
+    #[test]
+    fn bools_take_both_values() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut t = 0;
+        for _ in 0..200 {
+            t += usize::from(rng.random::<bool>());
+        }
+        assert!(t > 50 && t < 150, "bool stream badly biased: {t}/200");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty random_range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _: usize = rng.random_range(4..4);
+    }
+}

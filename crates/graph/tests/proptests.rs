@@ -1,127 +1,147 @@
-//! Property-based tests for the graph substrate.
+//! Randomized (seeded, deterministic) tests for the graph substrate.
+//! These replay the same invariants a property-based harness would
+//! explore, over a fixed stream of generated cases.
 
-use proptest::prelude::*;
 use turbosyn_graph::cycle_ratio::{exceeds_ratio, max_cycle_ratio, reaches_ratio, MdrError};
 use turbosyn_graph::maxflow::{min_vertex_cut, VertexCut};
 use turbosyn_graph::reach::{reachable_from, reachable_set};
+use turbosyn_graph::rng::StdRng;
 use turbosyn_graph::scc::condensation;
 use turbosyn_graph::topo::topo_sort;
 use turbosyn_graph::Digraph;
 
-/// Strategy: a random graph of up to `n` nodes and `m` edges with weights in
-/// `w`, plus per-node delays in `d`.
-fn graph_strategy(
+/// A random graph of up to `n` nodes and `m` edges with weights in `w`,
+/// plus per-node delays in `d`.
+fn random_graph(
+    rng: &mut StdRng,
     n: usize,
     m: usize,
     w: std::ops::Range<i64>,
     d: std::ops::Range<i64>,
-) -> impl Strategy<Value = (Digraph, Vec<i64>)> {
-    (2..n).prop_flat_map(move |nodes| {
-        let edges = proptest::collection::vec((0..nodes, 0..nodes, w.clone()), 1..m);
-        let delays = proptest::collection::vec(d.clone(), nodes);
-        (edges, delays).prop_map(move |(es, delay)| {
-            let mut g = Digraph::new(nodes);
-            for (a, b, wt) in es {
-                g.add_edge(a, b, wt);
-            }
-            (g, delay)
-        })
-    })
+) -> (Digraph, Vec<i64>) {
+    let nodes = rng.random_range(2..n);
+    let edges = rng.random_range(1..m);
+    let mut g = Digraph::new(nodes);
+    for _ in 0..edges {
+        let a = rng.random_range(0..nodes);
+        let b = rng.random_range(0..nodes);
+        let wt = rng.random_range(w.clone());
+        g.add_edge(a, b, wt);
+    }
+    let delay = (0..nodes).map(|_| rng.random_range(d.clone())).collect();
+    (g, delay)
 }
 
-proptest! {
-    /// The computed MDR ratio is exactly achieved (non-strict oracle says
-    /// yes) and never exceeded (strict oracle says no).
-    #[test]
-    fn mdr_is_tight((g, delay) in graph_strategy(8, 16, 1..4, 0..5)) {
+/// The computed MDR ratio is exactly achieved (non-strict oracle says
+/// yes) and never exceeded (strict oracle says no).
+#[test]
+fn mdr_is_tight() {
+    let mut rng = StdRng::seed_from_u64(0x11);
+    for _ in 0..256 {
+        let (g, delay) = random_graph(&mut rng, 8, 16, 1..4, 0..5);
         match max_cycle_ratio(&g, &delay) {
             Ok(r) => {
-                prop_assert!(reaches_ratio(&g, &delay, r), "ratio {r} not reached");
-                prop_assert!(!exceeds_ratio(&g, &delay, r), "ratio {r} exceeded");
+                assert!(reaches_ratio(&g, &delay, r), "ratio {r} not reached");
+                assert!(!exceeds_ratio(&g, &delay, r), "ratio {r} exceeded");
             }
             Err(MdrError::Acyclic) => {
-                prop_assert!(topo_sort(&g).is_ok(), "acyclic verdict on cyclic graph");
+                assert!(topo_sort(&g).is_ok(), "acyclic verdict on cyclic graph");
             }
             Err(MdrError::CombinationalCycle) => {
-                // Impossible: all weights are >= 1 in this strategy.
-                prop_assert!(false, "combinational cycle with all weights >= 1");
+                // Impossible: all weights are >= 1 in this generator.
+                panic!("combinational cycle with all weights >= 1");
             }
         }
     }
+}
 
-    /// Condensation numbers components in topological order and assigns
-    /// every node exactly one component.
-    #[test]
-    fn condensation_is_topological((g, _) in graph_strategy(12, 24, 0..3, 0..2)) {
+/// Condensation numbers components in topological order and assigns
+/// every node exactly one component.
+#[test]
+fn condensation_is_topological() {
+    let mut rng = StdRng::seed_from_u64(0x22);
+    for _ in 0..256 {
+        let (g, _) = random_graph(&mut rng, 12, 24, 0..3, 0..2);
         let c = condensation(&g);
         let total: usize = c.members.iter().map(|m| m.len()).sum();
-        prop_assert_eq!(total, g.node_count());
+        assert_eq!(total, g.node_count());
         for e in g.edges() {
-            prop_assert!(c.comp[e.from] <= c.comp[e.to], "back edge across components");
+            assert!(
+                c.comp[e.from] <= c.comp[e.to],
+                "back edge across components"
+            );
         }
         for (idx, members) in c.members.iter().enumerate() {
             for &v in members {
-                prop_assert_eq!(c.comp[v], idx);
+                assert_eq!(c.comp[v], idx);
             }
         }
     }
+}
 
-    /// A vertex cut found by max-flow really separates sources from sinks.
-    #[test]
-    fn vertex_cut_separates((g, _) in graph_strategy(10, 20, 0..1, 0..1)) {
+/// A vertex cut found by max-flow really separates sources from sinks.
+#[test]
+fn vertex_cut_separates() {
+    let mut rng = StdRng::seed_from_u64(0x33);
+    for _ in 0..256 {
+        let (g, _) = random_graph(&mut rng, 10, 20, 0..1, 0..1);
         let n = g.node_count();
-        let src = 0usize;
-        let dst = n - 1;
-        prop_assume!(src != dst);
+        let (src, dst) = (0usize, n - 1);
         let cap = vec![1u32; n];
         if let VertexCut::Cut(cut) = min_vertex_cut(&g, &[src], &[dst], &cap, n as u32) {
-            let blocked: Vec<bool> = {
-                let mut b = vec![false; n];
-                for &v in &cut {
-                    b[v] = true;
-                }
-                b
-            };
-            prop_assert!(!blocked[src] && !blocked[dst], "cut contains a terminal");
+            let mut blocked = vec![false; n];
+            for &v in &cut {
+                blocked[v] = true;
+            }
+            assert!(!blocked[src] && !blocked[dst], "cut contains a terminal");
             // BFS avoiding cut vertices must not reach dst.
             let r = reachable_from(&g, [src], |e| !blocked[e.to] && !blocked[e.from]);
-            prop_assert!(!r[dst], "cut {:?} does not separate", cut);
+            assert!(!r[dst], "cut {cut:?} does not separate");
         }
-    }
-
-    /// Reachability is monotone: adding edges never removes reachability.
-    #[test]
-    fn reachability_monotone((g, _) in graph_strategy(10, 15, 0..2, 0..1), extra in (0usize..10, 0usize..10)) {
-        let n = g.node_count();
-        let before = reachable_set(&g, [0]);
-        let mut g2 = g.clone();
-        g2.add_edge(extra.0 % n, extra.1 % n, 0);
-        let after = reachable_set(&g2, [0]);
-        for v in 0..n {
-            prop_assert!(!before[v] || after[v], "node {v} lost reachability");
-        }
-    }
-
-    /// topo_sort succeeds exactly when the condensation has no cyclic
-    /// component.
-    #[test]
-    fn topo_iff_no_cyclic_scc((g, _) in graph_strategy(10, 20, 0..2, 0..1)) {
-        let c = condensation(&g);
-        let cyclic = (0..c.count()).any(|i| c.is_cyclic(&g, i));
-        prop_assert_eq!(topo_sort(&g).is_ok(), !cyclic);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
+/// Reachability is monotone: adding edges never removes reachability.
+#[test]
+fn reachability_monotone() {
+    let mut rng = StdRng::seed_from_u64(0x44);
+    for _ in 0..256 {
+        let (g, _) = random_graph(&mut rng, 10, 15, 0..2, 0..1);
+        let n = g.node_count();
+        let before = reachable_set(&g, [0]);
+        let mut g2 = g.clone();
+        let a = rng.random_range(0..n);
+        let b = rng.random_range(0..n);
+        g2.add_edge(a, b, 0);
+        let after = reachable_set(&g2, [0]);
+        for v in 0..n {
+            assert!(!before[v] || after[v], "node {v} lost reachability");
+        }
+    }
+}
 
-    /// The flow-based vertex cut is *minimum*: cross-check against brute
-    /// force over all interior-vertex subsets on small graphs.
-    #[test]
-    fn vertex_cut_is_minimum((g, _) in graph_strategy(8, 14, 0..1, 0..1)) {
+/// topo_sort succeeds exactly when the condensation has no cyclic
+/// component.
+#[test]
+fn topo_iff_no_cyclic_scc() {
+    let mut rng = StdRng::seed_from_u64(0x55);
+    for _ in 0..256 {
+        let (g, _) = random_graph(&mut rng, 10, 20, 0..2, 0..1);
+        let c = condensation(&g);
+        let cyclic = (0..c.count()).any(|i| c.is_cyclic(&g, i));
+        assert_eq!(topo_sort(&g).is_ok(), !cyclic);
+    }
+}
+
+/// The flow-based vertex cut is *minimum*: cross-check against brute
+/// force over all interior-vertex subsets on small graphs.
+#[test]
+fn vertex_cut_is_minimum() {
+    let mut rng = StdRng::seed_from_u64(0x66);
+    for _ in 0..40 {
+        let (g, _) = random_graph(&mut rng, 8, 14, 0..1, 0..1);
         let n = g.node_count();
         let (src, dst) = (0usize, n - 1);
-        prop_assume!(src != dst);
         let cap = vec![1u32; n];
         let flow_cut = match min_vertex_cut(&g, &[src], &[dst], &cap, n as u32) {
             VertexCut::Cut(cut) => Some(cut.len()),
@@ -131,23 +151,20 @@ proptest! {
         let interior: Vec<usize> = (1..n - 1).collect();
         let mut best: Option<usize> = None;
         for mask in 0..(1u32 << interior.len()) {
-            let blocked: Vec<bool> = {
-                let mut b = vec![false; n];
-                for (j, &v) in interior.iter().enumerate() {
-                    if (mask >> j) & 1 == 1 {
-                        b[v] = true;
-                    }
+            let mut blocked = vec![false; n];
+            for (j, &v) in interior.iter().enumerate() {
+                if (mask >> j) & 1 == 1 {
+                    blocked[v] = true;
                 }
-                b
-            };
+            }
             let r = reachable_from(&g, [src], |e| !blocked[e.to] && !blocked[e.from]);
             if !r[dst] {
                 let size = mask.count_ones() as usize;
-                if best.map_or(true, |b| size < b) {
+                if best.is_none_or(|b| size < b) {
                     best = Some(size);
                 }
             }
         }
-        prop_assert_eq!(flow_cut, best, "flow cut vs brute force");
+        assert_eq!(flow_cut, best, "flow cut vs brute force");
     }
 }

@@ -91,7 +91,14 @@ pub fn parse(text: &str) -> Result<Circuit, BlifError> {
         }
     }
 
-    let mut model = String::from("blif");
+    if lines.is_empty() {
+        return Err(BlifError::Syntax {
+            line: 1,
+            msg: "empty BLIF: no directives found".into(),
+        });
+    }
+
+    let mut model: Option<String> = None;
     let mut input_names: Vec<String> = Vec::new();
     let mut output_names: Vec<String> = Vec::new();
     let mut drivers: HashMap<String, Driver> = HashMap::new();
@@ -105,7 +112,13 @@ pub fn parse(text: &str) -> Result<Circuit, BlifError> {
         let head = tok.next().unwrap_or("");
         match head {
             ".model" => {
-                model = tok.next().unwrap_or("blif").to_string();
+                if model.is_some() {
+                    return Err(BlifError::Syntax {
+                        line: lineno,
+                        msg: "duplicate .model (multi-model files are not supported)".into(),
+                    });
+                }
+                model = Some(tok.next().unwrap_or("blif").to_string());
                 i += 1;
             }
             ".inputs" => {
@@ -128,6 +141,38 @@ pub fn parse(text: &str) -> Result<Circuit, BlifError> {
                         line: lineno,
                         msg: ".latch needs input and output".into(),
                     });
+                }
+                // Accepted forms: `.latch in out init` and
+                // `.latch in out type control init`; the trailing init
+                // value is required so silently-undefined power-up state
+                // cannot slip through.
+                let init = match args.len() {
+                    3 => args[2],
+                    5 => args[4],
+                    _ => {
+                        return Err(BlifError::Syntax {
+                            line: lineno,
+                            msg: ".latch is missing its initial value".into(),
+                        })
+                    }
+                };
+                match init {
+                    // 0 = reset, 2 = don't care, 3 = unknown; the model
+                    // treats all three as power-up 0.
+                    "0" | "2" | "3" => {}
+                    "1" => {
+                        return Err(BlifError::Syntax {
+                            line: lineno,
+                            msg: ".latch initial value 1 is not supported (registers reset to 0)"
+                                .into(),
+                        })
+                    }
+                    other => {
+                        return Err(BlifError::Syntax {
+                            line: lineno,
+                            msg: format!(".latch initial value must be 0/1/2/3, got {other:?}"),
+                        })
+                    }
                 }
                 let (input, output) = (args[0].to_string(), args[1].to_string());
                 if drivers
@@ -218,7 +263,13 @@ pub fn parse(text: &str) -> Result<Circuit, BlifError> {
         }
     }
 
-    build_circuit(model, &input_names, &output_names, &drivers, &order)
+    build_circuit(
+        model.unwrap_or_else(|| "blif".to_string()),
+        &input_names,
+        &output_names,
+        &drivers,
+        &order,
+    )
 }
 
 fn cover_to_tt(
@@ -580,6 +631,109 @@ mod tests {
         let src = ".model cont\n.inputs a \\\nb\n.outputs y\n.names a b y\n11 1\n.end\n";
         let c = parse(src).expect("parses");
         assert_eq!(c.inputs().len(), 2);
+    }
+
+    /// Every malformed input must come back as a typed `Err` — never a
+    /// panic — and match the expected error family.
+    #[test]
+    fn malformed_inputs_return_typed_errors() {
+        enum Want {
+            Syntax,
+            Undriven,
+            Redefined,
+        }
+        let cases: &[(&str, &str, Want)] = &[
+            ("empty file", "", Want::Syntax),
+            ("whitespace only", "   \n\t\n", Want::Syntax),
+            ("comments only", "# nothing here\n# at all\n", Want::Syntax),
+            (
+                "undeclared signal",
+                ".model m\n.inputs a\n.outputs y\n.names a ghost y\n11 1\n.end\n",
+                Want::Undriven,
+            ),
+            (
+                "bad cube char",
+                ".model m\n.inputs a b\n.outputs y\n.names a b y\n1x 1\n.end\n",
+                Want::Syntax,
+            ),
+            (
+                "bad cover output",
+                ".model m\n.inputs a\n.outputs y\n.names a y\n1 2\n.end\n",
+                Want::Syntax,
+            ),
+            (
+                "cover pattern length mismatch",
+                ".model m\n.inputs a b\n.outputs y\n.names a b y\n1 1\n.end\n",
+                Want::Syntax,
+            ),
+            (
+                "mixed polarity cover",
+                ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 1\n00 0\n.end\n",
+                Want::Syntax,
+            ),
+            (
+                "duplicate .model",
+                ".model m\n.model m2\n.inputs a\n.outputs y\n.names a y\n1 1\n.end\n",
+                Want::Syntax,
+            ),
+            (
+                "latch missing init",
+                ".model m\n.inputs a\n.outputs q\n.latch a q\n.end\n",
+                Want::Syntax,
+            ),
+            (
+                "latch with unsupported init 1",
+                ".model m\n.inputs a\n.outputs q\n.latch a q 1\n.end\n",
+                Want::Syntax,
+            ),
+            (
+                "latch with garbage init",
+                ".model m\n.inputs a\n.outputs q\n.latch a q x\n.end\n",
+                Want::Syntax,
+            ),
+            (
+                "unknown directive",
+                ".model m\n.bogus a b\n.end\n",
+                Want::Syntax,
+            ),
+            (
+                "signal driven twice",
+                ".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n.latch a y 0\n.end\n",
+                Want::Redefined,
+            ),
+            (
+                "truncated names with no output",
+                ".model m\n.inputs a\n.outputs y\n.names\n.end\n",
+                Want::Syntax,
+            ),
+            (
+                "constant cover with two tokens",
+                ".model m\n.outputs y\n.names y\n1 1\n.end\n",
+                Want::Syntax,
+            ),
+            (
+                "too many cover tokens",
+                ".model m\n.inputs a\n.outputs y\n.names a y\n1 1 1\n.end\n",
+                Want::Syntax,
+            ),
+        ];
+        for (label, src, want) in cases {
+            let got = parse(src);
+            match (want, &got) {
+                (Want::Syntax, Err(BlifError::Syntax { .. }))
+                | (Want::Undriven, Err(BlifError::UndrivenSignal(_)))
+                | (Want::Redefined, Err(BlifError::Redefined(_))) => {}
+                _ => panic!("{label}: unexpected result {got:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn dont_care_and_unknown_inits_accepted() {
+        for init in ["0", "2", "3"] {
+            let src = format!(".model m\n.inputs a\n.outputs q\n.latch a q {init}\n.end\n");
+            parse(&src).expect("init accepted");
+        }
     }
 
     #[test]

@@ -23,8 +23,7 @@
 use crate::circuit::{Circuit, Fanin, NodeId};
 use crate::kbound::decompose_to_k;
 use crate::tt::TruthTable;
-use rand::prelude::*;
-use rand::rngs::StdRng;
+use turbosyn_graph::rng::StdRng;
 
 /// Benchmark class, mirroring the two halves of Table 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

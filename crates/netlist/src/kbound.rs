@@ -248,8 +248,7 @@ mod tests {
 
     #[test]
     fn random_wide_functions_stay_equivalent() {
-        use rand::prelude::*;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let mut rng = turbosyn_graph::rng::StdRng::seed_from_u64(13);
         for k in [2usize, 3, 5] {
             for _ in 0..5 {
                 let bits: [u64; 2] = [rng.random(), rng.random()];

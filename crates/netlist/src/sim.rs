@@ -170,8 +170,7 @@ pub fn trace(c: &Circuit, stim: &[Vec<bool>]) -> Vec<Vec<bool>> {
 /// Generates `cycles` random input vectors for `circuit` from `seed`
 /// (deterministic).
 pub fn random_stimulus(circuit: &Circuit, cycles: usize, seed: u64) -> Vec<Vec<bool>> {
-    use rand::prelude::*;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = turbosyn_graph::rng::StdRng::seed_from_u64(seed);
     (0..cycles)
         .map(|_| (0..circuit.inputs().len()).map(|_| rng.random()).collect())
         .collect()

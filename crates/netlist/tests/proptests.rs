@@ -1,6 +1,6 @@
-//! Property-based tests for the netlist substrate.
+//! Randomized (seeded, deterministic) tests for the netlist substrate.
 
-use proptest::prelude::*;
+use turbosyn_graph::rng::StdRng;
 use turbosyn_netlist::blif;
 use turbosyn_netlist::circuit::{Circuit, Fanin, NodeId};
 use turbosyn_netlist::equiv::{combinational_equiv, sequential_equiv_by_simulation};
@@ -19,36 +19,48 @@ fn wide_gate(bits: [u64; 2], n: u8) -> Circuit {
     c
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// K-bounding preserves combinational semantics for every K.
-    #[test]
-    fn kbound_preserves_function(bits in any::<[u64; 2]>(), k in 2usize..6) {
+/// K-bounding preserves combinational semantics for every K.
+#[test]
+fn kbound_preserves_function() {
+    let mut rng = StdRng::seed_from_u64(0xA1);
+    for _ in 0..24 {
+        let bits = [rng.random::<u64>(), rng.random::<u64>()];
+        let k = rng.random_range(2usize..6);
         let c = wide_gate(bits, 7);
         let d = decompose_to_k(&c, k);
-        prop_assert!(d.is_k_bounded(k));
-        prop_assert!(combinational_equiv(&c, &d).is_ok());
+        assert!(d.is_k_bounded(k));
+        assert!(combinational_equiv(&c, &d).is_ok());
     }
+}
 
-    /// Truth-table column multiplicity agrees with the BDD package on
-    /// random functions and random bound sets.
-    #[test]
-    fn multiplicity_cross_check(bits in any::<u64>(), bound_mask in 1u8..31) {
+/// Truth-table column multiplicity agrees with the BDD package on
+/// random functions and random bound sets.
+#[test]
+fn multiplicity_cross_check() {
+    let mut rng = StdRng::seed_from_u64(0xA2);
+    for _ in 0..24 {
+        let bits = rng.random::<u64>();
+        let bound_mask: u8 = rng.random_range(1u8..31);
         let tt = TruthTable::from_bits(5, &[bits]);
         let bound: Vec<u8> = (0..5).filter(|&v| (bound_mask >> v) & 1 == 1).collect();
-        prop_assume!(!bound.is_empty() && bound.len() < 5);
+        if bound.is_empty() || bound.len() >= 5 {
+            continue;
+        }
         let mu_tt = tt.column_multiplicity(&bound);
         let mut m = turbosyn_bdd::Manager::new();
-        let f = m.from_truth_table(5, tt.bits());
-        let bound32: Vec<u32> = bound.iter().map(|&b| b as u32).collect();
+        let f = m.from_truth_table(5, tt.bits()).expect("5 vars fits");
+        let bound32: Vec<u32> = bound.iter().map(|&b| u32::from(b)).collect();
         let mu_bdd = turbosyn_bdd::decompose::column_multiplicity(&mut m, f, &bound32);
-        prop_assert_eq!(mu_tt, mu_bdd);
+        assert_eq!(mu_tt, mu_bdd);
     }
+}
 
-    /// BLIF round-trips preserve sequential behaviour on generated FSMs.
-    #[test]
-    fn blif_roundtrip_fsm(seed in 0u64..500) {
+/// BLIF round-trips preserve sequential behaviour on generated FSMs.
+#[test]
+fn blif_roundtrip_fsm() {
+    let mut rng = StdRng::seed_from_u64(0xA3);
+    for _ in 0..24 {
+        let seed = rng.random_range(0u64..500);
         let c = gen::fsm(gen::FsmConfig {
             state_bits: 3,
             inputs: 3,
@@ -58,12 +70,16 @@ proptest! {
         });
         let text = blif::write(&c);
         let c2 = blif::parse(&text).expect("reparses");
-        prop_assert!(sequential_equiv_by_simulation(&c, &c2, 48, 6, 2, seed).is_ok());
+        assert!(sequential_equiv_by_simulation(&c, &c2, 48, 6, 2, seed).is_ok());
     }
+}
 
-    /// The simulator is deterministic and reset really resets.
-    #[test]
-    fn simulation_deterministic(seed in 0u64..500) {
+/// The simulator is deterministic and reset really resets.
+#[test]
+fn simulation_deterministic() {
+    let mut rng = StdRng::seed_from_u64(0xA4);
+    for _ in 0..24 {
+        let seed = rng.random_range(0u64..500);
         let c = gen::fsm(gen::FsmConfig {
             state_bits: 3,
             inputs: 2,
@@ -78,22 +94,36 @@ proptest! {
         let out2 = s1.run(&stim);
         let mut s2 = Simulator::new(&c).expect("valid");
         let out3 = s2.run(&stim);
-        prop_assert_eq!(&out1, &out2);
-        prop_assert_eq!(&out1, &out3);
+        assert_eq!(out1, out2);
+        assert_eq!(out1, out3);
     }
+}
 
-    /// Generated rings have the exact constructed MDR ratio.
-    #[test]
-    fn ring_mdr_exact(g in 1usize..12, r in 1usize..12) {
+/// Generated rings have the exact constructed MDR ratio.
+#[test]
+fn ring_mdr_exact() {
+    let mut rng = StdRng::seed_from_u64(0xA5);
+    for _ in 0..24 {
+        let g = rng.random_range(1usize..12);
+        let r = rng.random_range(1usize..12);
         let c = gen::ring(g, r);
         let mdr = turbosyn_graph::cycle_ratio::max_cycle_ratio(&c.to_digraph(), &c.delays())
             .expect("cyclic");
-        prop_assert_eq!(mdr, turbosyn_graph::cycle_ratio::Ratio::new(g as i64, r as i64));
+        assert_eq!(
+            mdr,
+            turbosyn_graph::cycle_ratio::Ratio::new(g as i64, r as i64)
+        );
     }
+}
 
-    /// Every suite circuit simulates without panicking and validates.
-    #[test]
-    fn generators_always_valid(seed in 0u64..200, layers in 2usize..5, width in 2usize..10) {
+/// Every suite circuit simulates without panicking and validates.
+#[test]
+fn generators_always_valid() {
+    let mut rng = StdRng::seed_from_u64(0xA6);
+    for _ in 0..24 {
+        let seed = rng.random_range(0u64..200);
+        let layers = rng.random_range(2usize..5);
+        let width = rng.random_range(2usize..10);
         let c = gen::iscas_like(gen::IscasConfig {
             layers,
             width,
@@ -102,21 +132,21 @@ proptest! {
             feedback_pct: 15,
             seed,
         });
-        prop_assert!(c.validate().is_ok());
+        assert!(c.validate().is_ok());
         let stim = turbosyn_netlist::sim::random_stimulus(&c, 8, seed);
         let mut sim = Simulator::new(&c).expect("valid");
         let outs = sim.run(&stim);
-        prop_assert_eq!(outs.len(), 8);
+        assert_eq!(outs.len(), 8);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// The cleanup passes preserve cycle-accurate behaviour on random
-    /// FSM-class circuits.
-    #[test]
-    fn optimize_preserves_behaviour(seed in 0u64..1000) {
+/// The cleanup passes preserve cycle-accurate behaviour on random
+/// FSM-class circuits.
+#[test]
+fn optimize_preserves_behaviour() {
+    let mut rng = StdRng::seed_from_u64(0xA7);
+    for _ in 0..16 {
+        let seed = rng.random_range(0u64..1000);
         let c = gen::fsm(gen::FsmConfig {
             state_bits: 2,
             inputs: 3,
@@ -125,15 +155,19 @@ proptest! {
             seed,
         });
         let (o, _) = turbosyn_netlist::opt::optimize(&c);
-        prop_assert!(o.validate().is_ok());
-        prop_assert!(sequential_equiv_by_simulation(&c, &o, 48, 0, 0, seed).is_ok());
-        prop_assert!(o.gate_count() <= c.gate_count());
+        assert!(o.validate().is_ok());
+        assert!(sequential_equiv_by_simulation(&c, &o, 48, 0, 0, seed).is_ok());
+        assert!(o.gate_count() <= c.gate_count());
     }
+}
 
-    /// Symbolic bounded equivalence agrees with random co-simulation on
-    /// cleanup results (exact over all stimuli up to the bound).
-    #[test]
-    fn optimize_symbolically_exact(seed in 0u64..300) {
+/// Symbolic bounded equivalence agrees with random co-simulation on
+/// cleanup results (exact over all stimuli up to the bound).
+#[test]
+fn optimize_symbolically_exact() {
+    let mut rng = StdRng::seed_from_u64(0xA8);
+    for _ in 0..16 {
+        let seed = rng.random_range(0u64..300);
         let c = gen::fsm(gen::FsmConfig {
             state_bits: 2,
             inputs: 2,
@@ -142,6 +176,6 @@ proptest! {
             seed,
         });
         let (o, _) = turbosyn_netlist::opt::optimize(&c);
-        prop_assert!(turbosyn_netlist::equiv::bounded_equiv_symbolic(&c, &o, 8).is_ok());
+        assert!(turbosyn_netlist::equiv::bounded_equiv_symbolic(&c, &o, 8).is_ok());
     }
 }

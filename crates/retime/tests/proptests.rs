@@ -1,18 +1,19 @@
-//! Property-based tests for retiming and pipelining.
+//! Randomized (seeded, deterministic) tests for retiming and pipelining.
 
-use proptest::prelude::*;
+use turbosyn_graph::rng::StdRng;
 use turbosyn_netlist::gen;
 use turbosyn_retime::{
     clock_period, mdr_ratio, min_period_retiming, period_lower_bound, retime_with_pipelining,
 };
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Pure retiming: the result is legal, never slower than as built,
-    /// never faster than the MDR bound, and pins the interface lags.
-    #[test]
-    fn pure_retiming_invariants(seed in 0u64..500, depth in 2usize..5) {
+/// Pure retiming: the result is legal, never slower than as built,
+/// never faster than the MDR bound, and pins the interface lags.
+#[test]
+fn pure_retiming_invariants() {
+    let mut rng = StdRng::seed_from_u64(0xB1);
+    for _ in 0..24 {
+        let seed = rng.random_range(0u64..500);
+        let depth = rng.random_range(2usize..5);
         let c = gen::fsm(gen::FsmConfig {
             state_bits: 3,
             inputs: 3,
@@ -22,27 +23,31 @@ proptest! {
         });
         let before = clock_period(&c);
         let r = min_period_retiming(&c);
-        prop_assert!(r.circuit.validate().is_ok());
-        prop_assert!(r.period <= before);
-        prop_assert_eq!(clock_period(&r.circuit), r.period);
+        assert!(r.circuit.validate().is_ok());
+        assert!(r.period <= before);
+        assert_eq!(clock_period(&r.circuit), r.period);
         if let Ok(m) = mdr_ratio(&c) {
-            prop_assert!(r.period >= m.ceil().max(1));
+            assert!(r.period >= m.ceil().max(1));
         }
         for &pi in c.inputs() {
-            prop_assert_eq!(r.lags[pi.index()], 0);
+            assert_eq!(r.lags[pi.index()], 0);
         }
         for &po in c.outputs() {
-            prop_assert_eq!(r.lags[po.index()], 0);
+            assert_eq!(r.lags[po.index()], 0);
         }
         // Retiming preserves total registers around every cycle: the MDR
         // ratio is invariant.
-        prop_assert_eq!(mdr_ratio(&c).ok(), mdr_ratio(&r.circuit).ok());
+        assert_eq!(mdr_ratio(&c).ok(), mdr_ratio(&r.circuit).ok());
     }
+}
 
-    /// Retiming + pipelining reaches exactly the MDR lower bound on the
-    /// FSM class (loops dominate; I/O paths are pipelined away).
-    #[test]
-    fn pipelining_reaches_bound(seed in 0u64..500) {
+/// Retiming + pipelining reaches exactly the MDR lower bound on the
+/// FSM class (loops dominate; I/O paths are pipelined away).
+#[test]
+fn pipelining_reaches_bound() {
+    let mut rng = StdRng::seed_from_u64(0xB2);
+    for _ in 0..24 {
+        let seed = rng.random_range(0u64..500);
         let c = gen::fsm(gen::FsmConfig {
             state_bits: 2,
             inputs: 3,
@@ -51,27 +56,38 @@ proptest! {
             seed,
         });
         let r = retime_with_pipelining(&c);
-        prop_assert!(r.circuit.validate().is_ok());
-        prop_assert_eq!(r.period, period_lower_bound(&c));
+        assert!(r.circuit.validate().is_ok());
+        assert_eq!(r.period, period_lower_bound(&c));
         // Only output lags may be non-zero at the interface.
         for &pi in c.inputs() {
-            prop_assert_eq!(r.lags[pi.index()], 0);
+            assert_eq!(r.lags[pi.index()], 0);
         }
     }
+}
 
-    /// On rings the bound is gates/regs exactly.
-    #[test]
-    fn rings_hit_exact_bound(gates in 1usize..14, regs in 1usize..8) {
+/// On rings the bound is gates/regs exactly.
+#[test]
+fn rings_hit_exact_bound() {
+    let mut rng = StdRng::seed_from_u64(0xB3);
+    for _ in 0..24 {
+        let gates = rng.random_range(1usize..14);
+        let regs = rng.random_range(1usize..8);
         let c = gen::ring(gates, regs);
         let r = retime_with_pipelining(&c);
-        prop_assert_eq!(r.period, gates.div_ceil(regs) as i64);
+        assert_eq!(r.period, gates.div_ceil(regs) as i64);
     }
+}
 
-    /// Pipelines (acyclic) always reach period 1.
-    #[test]
-    fn pipelines_reach_one(layers in 1usize..5, width in 2usize..6, seed in 0u64..100) {
+/// Pipelines (acyclic) always reach period 1.
+#[test]
+fn pipelines_reach_one() {
+    let mut rng = StdRng::seed_from_u64(0xB4);
+    for _ in 0..24 {
+        let layers = rng.random_range(1usize..5);
+        let width = rng.random_range(2usize..6);
+        let seed = rng.random_range(0u64..100);
         let c = gen::pipeline(layers, width, seed);
         let r = retime_with_pipelining(&c);
-        prop_assert_eq!(r.period, 1);
+        assert_eq!(r.period, 1);
     }
 }

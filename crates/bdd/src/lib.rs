@@ -37,11 +37,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod decompose;
 pub mod explore;
 
 mod error;
 mod manager;
 
+pub use cache::DecompCache;
 pub use error::BddError;
 pub use manager::{Bdd, Manager};

@@ -1,44 +1,137 @@
 //! Benchmarks of the three mappers on representative suite circuits
 //! (one small and one mid FSM row, one ISCAS row) — the timing backbone
-//! of Table 1's CPU columns.
+//! of Table 1's CPU columns — plus a `--jobs` scaling section on the
+//! largest generator circuit.
 //!
 //! Hermetic harness (no criterion): median of a fixed iteration count.
 //! Run with `cargo bench -p turbosyn-bench`.
+//!
+//! Set `BENCH_JSON=<path>` to also write the timings as a
+//! [`turbosyn_bench::json::BenchFile`]; CI's bench-regression job feeds
+//! that file to the `bench_gate` binary, which compares the
+//! `mappers/*` entries against the committed `BENCH_baseline.json`
+//! (machine-normalized through `calib_ns`). The `jobs/*` entries are
+//! informational — they document thread scaling, which depends on the
+//! runner's core count, so the gate does not threshold them.
 
 use std::hint::black_box;
 use std::time::Instant;
-use turbosyn::{flowsyn_s, turbomap, turbosyn, MapOptions};
-use turbosyn_netlist::gen;
+use turbosyn::{flowsyn_s, turbomap, turbosyn, MapOptions, MapReport};
+use turbosyn_bench::json::{BenchFile, BenchResult};
+use turbosyn_netlist::{blif, gen};
 
-fn bench(name: &str, iters: usize, mut f: impl FnMut()) {
-    f(); // warmup
-    let mut times = Vec::with_capacity(iters);
-    for _ in 0..iters {
+struct Recorder {
+    results: Vec<BenchResult>,
+}
+
+impl Recorder {
+    fn bench(&mut self, name: &str, iters: usize, mut f: impl FnMut()) {
+        f(); // warmup
+        let mut times = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            let t = Instant::now();
+            f();
+            times.push(t.elapsed());
+        }
+        times.sort();
+        let median = times[times.len() / 2];
+        println!("{name:<40} {median:>12.3?} /iter  ({iters} iters)");
+        self.results.push(BenchResult {
+            name: name.to_string(),
+            median_ns: median.as_nanos(),
+        });
+    }
+
+    /// One timed run, no warmup — for benches whose single iteration
+    /// already takes tens of seconds.
+    fn bench_cold(&mut self, name: &str, mut f: impl FnMut()) {
         let t = Instant::now();
         f();
-        times.push(t.elapsed());
+        let elapsed = t.elapsed();
+        println!("{name:<40} {elapsed:>12.3?} /iter  (1 cold iter)");
+        self.results.push(BenchResult {
+            name: name.to_string(),
+            median_ns: elapsed.as_nanos(),
+        });
     }
-    times.sort();
-    println!(
-        "{name:<40} {:>12.3?} /iter  ({iters} iters)",
-        times[times.len() / 2]
-    );
+}
+
+/// Everything a mapper run decides, for bit-identity checks.
+fn fingerprint(r: &MapReport) -> (i64, usize, u64, i64, Vec<(i64, bool)>, String) {
+    (
+        r.phi,
+        r.lut_count,
+        r.register_count,
+        r.clock_period,
+        r.probes.clone(),
+        blif::write(&r.final_circuit),
+    )
 }
 
 fn main() {
+    let mut rec = Recorder {
+        results: Vec::new(),
+    };
     let suite = gen::suite();
+
     let pick = ["bbara", "cse", "s420"];
     for b in suite.iter().filter(|b| pick.contains(&b.name)) {
         let opts = MapOptions::default();
         let c = &b.circuit;
-        bench(&format!("mappers/flowsyn_s/{}", b.name), 10, || {
+        rec.bench(&format!("mappers/flowsyn_s/{}", b.name), 10, || {
             black_box(flowsyn_s(black_box(c), &opts).expect("maps"));
         });
-        bench(&format!("mappers/turbomap/{}", b.name), 10, || {
+        rec.bench(&format!("mappers/turbomap/{}", b.name), 10, || {
             black_box(turbomap(black_box(c), &opts).expect("maps"));
         });
-        bench(&format!("mappers/turbosyn/{}", b.name), 10, || {
+        rec.bench(&format!("mappers/turbosyn/{}", b.name), 10, || {
             black_box(turbosyn(black_box(c), &opts).expect("maps"));
         });
+    }
+
+    // Thread-scaling section: the largest generated circuit, mapped
+    // serially and with eight label workers. One iteration each — the
+    // runs take tens of seconds and the speedup ratio, not the absolute
+    // time, is the quantity of interest. The fingerprint comparison
+    // pins the determinism contract at full scale.
+    let big = suite
+        .iter()
+        .max_by_key(|b| b.circuit.node_count())
+        .expect("suite is non-empty");
+    let mut reports: Vec<MapReport> = Vec::new();
+    for jobs in [1, 8] {
+        let opts = MapOptions {
+            jobs,
+            ..MapOptions::default()
+        };
+        rec.bench_cold(&format!("jobs/turbosyn/{}/j{jobs}", big.name), || {
+            reports.push(turbosyn(black_box(&big.circuit), &opts).expect("maps"));
+        });
+    }
+    assert_eq!(
+        fingerprint(&reports[0]),
+        fingerprint(reports.last().expect("two runs")),
+        "jobs=8 must be bit-identical to jobs=1 on {}",
+        big.name
+    );
+    let (j1, j8) = (
+        rec.results[rec.results.len() - 2].median_ns,
+        rec.results[rec.results.len() - 1].median_ns,
+    );
+    println!(
+        "jobs speedup on {}: {:.2}x (j1 {:.2}s, j8 {:.2}s; scales with runner cores)",
+        big.name,
+        j1 as f64 / j8 as f64,
+        j1 as f64 / 1e9,
+        j8 as f64 / 1e9,
+    );
+
+    let file = BenchFile {
+        calib_ns: turbosyn_bench::calibrate_ns(),
+        results: rec.results,
+    };
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        std::fs::write(&path, file.to_json()).expect("write BENCH_JSON file");
+        println!("wrote {path}");
     }
 }

@@ -1,0 +1,79 @@
+//! Writes a generated benchmark circuit as BLIF, for driving
+//! `turbosyn-cli` end to end (the repo ships no binary netlists — CI's
+//! smoke jobs generate their input with this tool).
+//!
+//! ```text
+//! gen_blif list                    print available circuit names
+//! gen_blif <name> [out.blif]      write the circuit (default: stdout)
+//! ```
+//!
+//! Names are the suite rows (`bbara`, `s420`, ...) plus `figure1`, the
+//! paper's running example. All generated circuits are 2-bounded, so
+//! they are valid input for any K >= 2.
+
+use std::process::ExitCode;
+use turbosyn_netlist::{blif, gen, Circuit};
+
+fn lookup(name: &str) -> Option<Circuit> {
+    if name == "figure1" {
+        return Some(gen::figure1());
+    }
+    gen::suite()
+        .into_iter()
+        .find(|b| b.name == name)
+        .map(|b| b.circuit)
+}
+
+fn names() -> Vec<&'static str> {
+    let mut out = vec!["figure1"];
+    out.extend(gen::suite().iter().map(|b| b.name));
+    out
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(name) = argv.first() else {
+        eprintln!("usage: gen_blif <list|name> [out.blif]");
+        return ExitCode::from(2);
+    };
+    if name == "list" {
+        for n in names() {
+            println!("{n}");
+        }
+        return ExitCode::from(0);
+    }
+    let Some(circuit) = lookup(name) else {
+        eprintln!("unknown circuit {name}; try `gen_blif list`");
+        return ExitCode::from(2);
+    };
+    let text = blif::write(&circuit);
+    match argv.get(1) {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, text) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::from(1);
+            }
+        }
+        None => print!("{text}"),
+    }
+    ExitCode::from(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_name_resolves_and_round_trips() {
+        for n in names() {
+            let c = lookup(n).expect("listed name resolves");
+            let parsed = blif::parse(&blif::write(&c)).expect("round trips");
+            assert_eq!(parsed.node_count(), c.node_count(), "{n}");
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(lookup("no-such-circuit").is_none());
+    }
+}

@@ -1,0 +1,350 @@
+//! Reading and writing `BENCH_*.json` timing files.
+//!
+//! The workspace has no serde dependency, so this is a hand-rolled
+//! writer plus a recursive-descent parser for the one fixed schema the
+//! bench harness emits:
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "calib_ns": 104857600,
+//!   "results": [
+//!     { "name": "mappers/turbosyn/bbara", "median_ns": 1234567 }
+//!   ]
+//! }
+//! ```
+//!
+//! `calib_ns` is the median time of a fixed synthetic workload measured
+//! in the same process as the benchmarks. Comparing `median_ns /
+//! calib_ns` across two files cancels most of the machine-speed
+//! difference between the runner that produced the committed baseline
+//! and the runner executing a CI gate.
+
+use std::fmt::Write as _;
+
+/// One recorded benchmark timing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchResult {
+    /// Hierarchical bench name, e.g. `mappers/turbosyn/s420`.
+    pub name: String,
+    /// Median wall-clock of one iteration, in nanoseconds.
+    pub median_ns: u128,
+}
+
+/// A full timing file: calibration constant plus per-bench medians.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchFile {
+    /// Median of the fixed calibration workload, nanoseconds.
+    pub calib_ns: u128,
+    /// All recorded benchmarks, in emission order.
+    pub results: Vec<BenchResult>,
+}
+
+impl BenchFile {
+    /// Looks up a bench by exact name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<u128> {
+        self.results
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.median_ns)
+    }
+
+    /// Machine-normalized score for a bench: `median_ns / calib_ns`.
+    #[must_use]
+    pub fn score(&self, name: &str) -> Option<f64> {
+        let calib = self.calib_ns.max(1) as f64;
+        self.get(name).map(|ns| ns as f64 / calib)
+    }
+
+    /// Serializes to the canonical JSON layout (trailing newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"schema\": 1,\n");
+        let _ = writeln!(out, "  \"calib_ns\": {},", self.calib_ns);
+        out.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let comma = if i + 1 == self.results.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "    {{ \"name\": {}, \"median_ns\": {} }}{comma}",
+                quote(&r.name),
+                r.median_ns
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses a timing file produced by [`BenchFile::to_json`] (or any
+    /// equivalent JSON of the same shape).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first syntax or schema
+    /// problem encountered.
+    pub fn parse(text: &str) -> Result<BenchFile, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let file = p.file()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(file)
+    }
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.bytes.get(self.pos).map(|&c| c as char)
+            ))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        other => {
+                            return Err(format!("unsupported escape {other:?}"));
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) => {
+                    // Benchmark names are ASCII; pass other bytes through
+                    // untouched so valid UTF-8 survives a round trip.
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<u128, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(format!("expected a number at byte {start}"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits are UTF-8")
+            .parse()
+            .map_err(|e| format!("bad number at byte {start}: {e}"))
+    }
+
+    fn result_entry(&mut self) -> Result<BenchResult, String> {
+        self.expect(b'{')?;
+        let mut name = None;
+        let mut median_ns = None;
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            match key.as_str() {
+                "name" => name = Some(self.string()?),
+                "median_ns" => median_ns = Some(self.number()?),
+                other => return Err(format!("unknown result key {other:?}")),
+            }
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    break;
+                }
+                other => return Err(format!("expected ',' or '}}', found {other:?}")),
+            }
+        }
+        Ok(BenchResult {
+            name: name.ok_or("result missing \"name\"")?,
+            median_ns: median_ns.ok_or("result missing \"median_ns\"")?,
+        })
+    }
+
+    fn file(&mut self) -> Result<BenchFile, String> {
+        self.expect(b'{')?;
+        let mut calib_ns = None;
+        let mut results = None;
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            match key.as_str() {
+                "schema" => {
+                    let v = self.number()?;
+                    if v != 1 {
+                        return Err(format!("unsupported schema version {v}"));
+                    }
+                }
+                "calib_ns" => calib_ns = Some(self.number()?),
+                "results" => {
+                    self.expect(b'[')?;
+                    let mut list = Vec::new();
+                    if self.peek() == Some(b']') {
+                        self.pos += 1;
+                    } else {
+                        loop {
+                            list.push(self.result_entry()?);
+                            match self.peek() {
+                                Some(b',') => self.pos += 1,
+                                Some(b']') => {
+                                    self.pos += 1;
+                                    break;
+                                }
+                                other => {
+                                    return Err(format!("expected ',' or ']', found {other:?}"));
+                                }
+                            }
+                        }
+                    }
+                    results = Some(list);
+                }
+                other => return Err(format!("unknown top-level key {other:?}")),
+            }
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    break;
+                }
+                other => return Err(format!("expected ',' or '}}', found {other:?}")),
+            }
+        }
+        Ok(BenchFile {
+            calib_ns: calib_ns.ok_or("file missing \"calib_ns\"")?,
+            results: results.ok_or("file missing \"results\"")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchFile {
+        BenchFile {
+            calib_ns: 100_000_000,
+            results: vec![
+                BenchResult {
+                    name: "mappers/turbosyn/bbara".into(),
+                    median_ns: 1_234_567,
+                },
+                BenchResult {
+                    name: "jobs/turbosyn/s5378/j8".into(),
+                    median_ns: 9_876_543_210,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let f = sample();
+        let parsed = BenchFile::parse(&f.to_json()).expect("parses own output");
+        assert_eq!(parsed, f);
+    }
+
+    #[test]
+    fn empty_results_round_trip() {
+        let f = BenchFile {
+            calib_ns: 42,
+            results: vec![],
+        };
+        assert_eq!(BenchFile::parse(&f.to_json()).expect("parses"), f);
+    }
+
+    #[test]
+    fn lookup_and_score() {
+        let f = sample();
+        assert_eq!(f.get("mappers/turbosyn/bbara"), Some(1_234_567));
+        assert_eq!(f.get("nope"), None);
+        let s = f.score("mappers/turbosyn/bbara").expect("score");
+        assert!((s - 0.01234567).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(BenchFile::parse("").is_err());
+        assert!(BenchFile::parse("{}").is_err(), "missing required keys");
+        assert!(BenchFile::parse("{\"schema\": 2, \"calib_ns\": 1, \"results\": []}").is_err());
+        assert!(
+            BenchFile::parse("{\"calib_ns\": 1, \"results\": []} x").is_err(),
+            "trailing garbage"
+        );
+        assert!(BenchFile::parse("{\"calib_ns\": -3, \"results\": []}").is_err());
+    }
+
+    #[test]
+    fn accepts_foreign_whitespace() {
+        let text = "{\n\t\"calib_ns\" : 7 ,\n \"results\":[ {\"name\":\"a\" , \
+                    \"median_ns\" : 3} ] }";
+        let f = BenchFile::parse(text).expect("parses");
+        assert_eq!(f.calib_ns, 7);
+        assert_eq!(f.get("a"), Some(3));
+    }
+}

@@ -2,6 +2,8 @@
 //! paper's tables and figures (see DESIGN.md for the per-experiment
 //! index, and EXPERIMENTS.md for recorded results).
 
+pub mod json;
+
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
 use turbosyn::{MapReport, SynthesisError};
@@ -30,6 +32,32 @@ where
             Err(format!("FAILED({circuit}): panic: {msg}"))
         }
     }
+}
+
+/// Median wall-clock, in nanoseconds, of a fixed synthetic workload
+/// (an xorshift64 chain long enough to dominate timer noise). Emitted
+/// as `calib_ns` in `BENCH_*.json` files so the bench gate can compare
+/// machine-normalized scores instead of raw wall-clock across runners
+/// of different speeds.
+#[must_use]
+pub fn calibrate_ns() -> u128 {
+    fn chain(mut x: u64, steps: u64) -> u64 {
+        for _ in 0..steps {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+        }
+        x
+    }
+    let mut samples: Vec<u128> = (0..5)
+        .map(|i| {
+            let t = std::time::Instant::now();
+            std::hint::black_box(chain(0x9e37_79b9_7f4a_7c15 + i, 40_000_000));
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
 }
 
 /// Geometric mean of a slice of ratios.

@@ -10,6 +10,8 @@
 //!       --timeout-ms <N>    wall-clock budget; past it the best verified
 //!                           mapping found so far is emitted (exit code 3)
 //!       --max-bdd-nodes <N> per-decomposition BDD-node ceiling
+//!   -j, --jobs <N>          label-sweep worker threads (default 1; results
+//!                           are identical for every N)
 //!       --min-registers     run exact register minimization
 //!       --no-pack           skip the LUT packing pass
 //!       --optimize          run constant propagation + strash first
@@ -49,6 +51,7 @@ struct Args {
     max_wires: usize,
     timeout_ms: Option<u64>,
     max_bdd_nodes: Option<usize>,
+    jobs: usize,
     min_registers: bool,
     pack: bool,
     optimize: bool,
@@ -57,8 +60,8 @@ struct Args {
 
 fn usage() -> &'static str {
     "usage: turbosyn-cli [-o out.blif] [-k K] [-a turbosyn|turbomap|flowsyn-s] \
-     [--max-wires 1|2] [--timeout-ms N] [--max-bdd-nodes N] [--min-registers] \
-     [--no-pack] [--optimize] [--stats] input.blif"
+     [--max-wires 1|2] [--timeout-ms N] [--max-bdd-nodes N] [-j N] \
+     [--min-registers] [--no-pack] [--optimize] [--stats] input.blif"
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -70,6 +73,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         max_wires: 1,
         timeout_ms: None,
         max_bdd_nodes: None,
+        jobs: 1,
         min_registers: false,
         pack: true,
         optimize: false,
@@ -115,6 +119,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 }
                 args.max_bdd_nodes = Some(n);
             }
+            "-j" | "--jobs" => {
+                let v = it.next().ok_or("missing value for --jobs")?;
+                args.jobs = v.parse().map_err(|_| format!("bad job count: {v}"))?;
+                if args.jobs == 0 {
+                    return Err("--jobs must be positive (use 1 for a serial run)".into());
+                }
+            }
             "--min-registers" => args.min_registers = true,
             "--no-pack" => args.pack = false,
             "--optimize" => args.optimize = true,
@@ -153,6 +164,7 @@ fn run(args: &Args, circuit: &Circuit, cancel: CancelToken) -> Result<MapReport,
         max_wires: args.max_wires,
         minimize_registers: args.min_registers,
         pack: args.pack,
+        jobs: args.jobs,
         budget: budget_for(args, cancel),
         ..MapOptions::default()
     };
@@ -310,6 +322,7 @@ mod tests {
         assert_eq!(a.output, None);
         assert_eq!(a.timeout_ms, None);
         assert_eq!(a.max_bdd_nodes, None);
+        assert_eq!(a.jobs, 1);
     }
 
     #[test]
@@ -327,6 +340,8 @@ mod tests {
             "2500",
             "--max-bdd-nodes",
             "10000",
+            "--jobs",
+            "8",
             "--min-registers",
             "--no-pack",
             "--optimize",
@@ -340,6 +355,7 @@ mod tests {
         assert_eq!(a.max_wires, 2);
         assert_eq!(a.timeout_ms, Some(2500));
         assert_eq!(a.max_bdd_nodes, Some(10000));
+        assert_eq!(a.jobs, 8);
         assert!(a.min_registers && !a.pack && a.optimize && a.stats);
         assert_eq!(a.input, "in.blif");
     }
@@ -364,6 +380,7 @@ mod tests {
             args(&["--max-bdd-nodes", "0", "x.blif"]).is_err(),
             "zero BDD ceiling"
         );
+        assert!(args(&["--jobs", "0", "x.blif"]).is_err(), "zero jobs");
         assert!(args(&["--bogus", "x.blif"]).is_err(), "unknown flag");
         assert!(args(&["a.blif", "b.blif"]).is_err(), "two inputs");
         assert!(args(&["-o"]).is_err(), "missing value");

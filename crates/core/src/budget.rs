@@ -33,8 +33,8 @@
 //! [`LabelOptions`](crate::LabelOptions), so mapping generation replays
 //! exactly the decisions the (governed) label search made.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// A cheap, clonable cancellation flag (`Arc<AtomicBool>`).
@@ -239,12 +239,19 @@ pub struct Degradation {
 /// the mappers; exposed so callers of
 /// [`compute_labels_governed`](crate::label::compute_labels_governed)
 /// can govern their own label computations.
+///
+/// All mutation goes through `&self`: the work counter is an atomic
+/// (`fetch_add`, so concurrent workers can never under-count a charge)
+/// and the event list sits behind a mutex. One gauge therefore governs a
+/// whole worker pool — every worker polls the same deadline, the same
+/// cancellation flag, and the same work cap, and any of them tripping a
+/// limit drains the pool at its next poll point.
 #[derive(Debug)]
 pub struct Gauge {
     budget: Budget,
     start: Instant,
-    work: u64,
-    events: Vec<DegradeEvent>,
+    work: AtomicU64,
+    events: Mutex<Vec<DegradeEvent>>,
 }
 
 impl Gauge {
@@ -253,8 +260,8 @@ impl Gauge {
         Gauge {
             budget,
             start: Instant::now(),
-            work: 0,
-            events: Vec::new(),
+            work: AtomicU64::new(0),
+            events: Mutex::new(Vec::new()),
         }
     }
 
@@ -265,12 +272,12 @@ impl Gauge {
 
     /// Expanded-circuit nodes charged so far.
     pub fn work(&self) -> u64 {
-        self.work
+        self.work.load(Ordering::SeqCst)
     }
 
-    /// Degradation events recorded so far.
-    pub fn events(&self) -> &[DegradeEvent] {
-        &self.events
+    /// Degradation events recorded so far (a snapshot).
+    pub fn events(&self) -> Vec<DegradeEvent> {
+        self.events.lock().expect("gauge events poisoned").clone()
     }
 
     /// Polls the cancellation flag and the deadline.
@@ -292,15 +299,29 @@ impl Gauge {
 
     /// Charges `nodes` units of expansion work and polls every limit.
     ///
+    /// The charge is a single `fetch_add`, so parallel workers each see
+    /// the running total *including* their own contribution — two
+    /// workers charging simultaneously can both trip the cap, but
+    /// neither can slip under it.
+    ///
     /// # Errors
     ///
     /// Any [`Interrupted`] cause; the work counter is charged regardless
     /// so a later retry cannot launder the overage.
-    pub fn charge(&mut self, nodes: u64) -> Result<(), Interrupted> {
-        self.work = self.work.saturating_add(nodes);
+    pub fn charge(&self, nodes: u64) -> Result<(), Interrupted> {
+        // `fetch_add` wraps on overflow; clamp manually so a saturated
+        // counter stays pinned at the ceiling instead of wrapping to 0.
+        let prior = self.work.fetch_add(nodes, Ordering::SeqCst);
+        let total = match prior.checked_add(nodes) {
+            Some(t) => t,
+            None => {
+                self.work.store(u64::MAX, Ordering::SeqCst);
+                u64::MAX
+            }
+        };
         self.check()?;
         if let Some(cap) = self.budget.max_work {
-            if self.work > cap {
+            if total > cap {
                 return Err(Interrupted::WorkExhausted);
             }
         }
@@ -308,20 +329,22 @@ impl Gauge {
     }
 
     /// Records a degradation event (deduplicated).
-    pub fn note(&mut self, event: DegradeEvent) {
-        if !self.events.contains(&event) {
-            self.events.push(event);
+    pub fn note(&self, event: DegradeEvent) {
+        let mut events = self.events.lock().expect("gauge events poisoned");
+        if !events.contains(&event) {
+            events.push(event);
         }
     }
 
     /// Consumes the recorded events into a [`Degradation`] report, or
     /// `None` when the run made no concession.
-    pub fn take_degradation(&mut self, phi_achieved: i64) -> Option<Degradation> {
-        if self.events.is_empty() {
+    pub fn take_degradation(&self, phi_achieved: i64) -> Option<Degradation> {
+        let mut events = self.events.lock().expect("gauge events poisoned");
+        if events.is_empty() {
             return None;
         }
         Some(Degradation {
-            events: std::mem::take(&mut self.events),
+            events: std::mem::take(&mut *events),
             phi_achieved,
         })
     }
@@ -333,10 +356,12 @@ mod tests {
 
     #[test]
     fn default_budget_never_interrupts() {
-        let mut g = Gauge::new(Budget::default());
+        let g = Gauge::new(Budget::default());
         g.check().expect("no limits");
         g.charge(u64::MAX / 2).expect("no work cap");
         g.charge(u64::MAX / 2).expect("saturates, still no cap");
+        g.charge(u64::MAX).expect("pinned at ceiling, still no cap");
+        assert_eq!(g.work(), u64::MAX, "overflow clamps instead of wrapping");
         assert!(g.take_degradation(1).is_none());
     }
 
@@ -359,7 +384,7 @@ mod tests {
 
     #[test]
     fn work_budget_trips_and_stays_tripped() {
-        let mut g = Gauge::new(Budget::default().with_max_work(100));
+        let g = Gauge::new(Budget::default().with_max_work(100));
         g.charge(60).expect("within budget");
         assert_eq!(g.charge(60), Err(Interrupted::WorkExhausted));
         // The overage is not forgotten.
@@ -368,8 +393,39 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_charges_never_under_count() {
+        // 8 threads x 1000 charges of 3 units: the atomic counter must
+        // land on the exact total, and the cap must trip for every
+        // thread that charges past it.
+        let g = Gauge::new(Budget::default().with_max_work(12_000));
+        let tripped = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        if g.charge(3).is_err() {
+                            tripped.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(g.work(), 24_000, "every charge is counted exactly once");
+        // 24k charged against a 12k cap: at least the second half of the
+        // charges (in global order) must have been rejected.
+        assert!(tripped.load(Ordering::SeqCst) >= 4000);
+    }
+
+    #[test]
+    fn gauge_is_shareable_across_threads() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<Gauge>();
+        assert_sync::<CancelToken>();
+    }
+
+    #[test]
     fn events_deduplicate_and_report() {
-        let mut g = Gauge::new(Budget::default());
+        let g = Gauge::new(Budget::default());
         g.note(DegradeEvent::BddCeiling { node: 7 });
         g.note(DegradeEvent::BddCeiling { node: 7 });
         g.note(DegradeEvent::Deadline { phi_abandoned: 2 });

@@ -1,0 +1,81 @@
+//! A synthesis engine owning cross-run caches.
+//!
+//! The free mapper functions ([`turbosyn`](crate::turbosyn) and friends)
+//! are stateless: every call builds its caches from scratch. An
+//! [`Engine`] keeps the expansion-skeleton and decomposition caches
+//! alive across calls, so mapping the same (or a structurally similar)
+//! circuit again reuses earlier work. Results are identical either way —
+//! caching only changes wall-clock (see [`crate::cache`] internals for
+//! the argument).
+
+use crate::cache::{CacheStats, SessionCaches};
+use crate::error::SynthesisError;
+use crate::mappers::{self, MapOptions, MapReport};
+use turbosyn_netlist::Circuit;
+
+/// A stateful synthesis session: mapper entry points plus shared caches.
+#[derive(Debug)]
+pub struct Engine {
+    pub(crate) caches: SessionCaches,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// A fresh engine with empty caches.
+    pub fn new() -> Self {
+        Engine {
+            caches: SessionCaches::new(),
+        }
+    }
+
+    /// Cache counters accumulated over every run of this engine.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.caches.stats()
+    }
+
+    /// [`crate::turbomap`] sharing this engine's caches.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`crate::turbomap`].
+    pub fn turbomap(&self, c: &Circuit, opts: &MapOptions) -> Result<MapReport, SynthesisError> {
+        mappers::turbomap_with(c, opts, &self.caches)
+    }
+
+    /// [`crate::turbosyn`] sharing this engine's caches.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`crate::turbosyn`].
+    pub fn turbosyn(&self, c: &Circuit, opts: &MapOptions) -> Result<MapReport, SynthesisError> {
+        mappers::turbosyn_with(c, opts, &self.caches)
+    }
+
+    /// [`crate::flowsyn_s`] sharing this engine's caches.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`crate::flowsyn_s`].
+    pub fn flowsyn_s(&self, c: &Circuit, opts: &MapOptions) -> Result<MapReport, SynthesisError> {
+        mappers::flowsyn_s_with(c, opts, &self.caches)
+    }
+
+    /// [`crate::map_combinational`] sharing this engine's caches.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`crate::map_combinational`].
+    pub fn map_combinational(
+        &self,
+        c: &Circuit,
+        opts: &MapOptions,
+        resynthesis: bool,
+    ) -> Result<(Circuit, i64), SynthesisError> {
+        mappers::map_combinational_with(c, opts, resynthesis, &self.caches)
+    }
+}

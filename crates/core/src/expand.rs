@@ -194,7 +194,20 @@ impl Expansion {
     ///
     /// Returns `None` when every cut exceeds `limit`.
     pub fn min_cut(&self, limit: usize) -> Option<Vec<usize>> {
-        use turbosyn_graph::maxflow::{min_vertex_cut, VertexCut};
+        let mut arena = turbosyn_graph::maxflow::FlowArena::new();
+        self.min_cut_in(limit, &mut arena)
+    }
+
+    /// [`Expansion::min_cut`] computing inside a caller-provided
+    /// [`FlowArena`](turbosyn_graph::maxflow::FlowArena), so repeated
+    /// cut computations (one per label candidate per sweep) reuse flow
+    /// buffers instead of reallocating.
+    pub fn min_cut_in(
+        &self,
+        limit: usize,
+        arena: &mut turbosyn_graph::maxflow::FlowArena,
+    ) -> Option<Vec<usize>> {
+        use turbosyn_graph::maxflow::VertexCut;
         let n = self.nodes.len();
         // Graph: exp nodes 0..n, synthetic source n.
         let mut g = turbosyn_graph::Digraph::new(n + 1);
@@ -214,7 +227,7 @@ impl Expansion {
                 *c = u32::MAX;
             }
         }
-        match min_vertex_cut(&g, &[n], &[0], &cap, limit as u32) {
+        match arena.min_vertex_cut(&g, &[n], &[0], &cap, limit as u32) {
             VertexCut::Cut(cut) => Some(cut),
             VertexCut::ExceedsLimit => None,
         }

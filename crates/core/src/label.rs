@@ -21,8 +21,10 @@
 //! required by the paper's Theorem 2.
 
 use crate::budget::{Budget, DegradeEvent, Gauge, Interrupted};
-use crate::expand::{ExpandFail, ExpandLimits, Expansion};
+use crate::cache::{Scratch, SessionCaches};
+use crate::expand::{ExpandFail, ExpandLimits};
 use crate::pld::scc_isolated;
+use std::sync::atomic::{AtomicBool, Ordering};
 use turbosyn_bdd::BddError;
 use turbosyn_graph::scc::condensation;
 use turbosyn_netlist::{Circuit, NodeId, NodeKind};
@@ -68,6 +70,11 @@ pub struct LabelOptions {
     /// options (not the run-scoped gauge) so mapping generation replays
     /// the exact decisions the label search made.
     pub max_bdd_nodes: Option<usize>,
+    /// Worker threads for the per-sweep label updates. `1` (the default)
+    /// runs serially; any value produces bit-identical labels — within a
+    /// sweep every candidate is computed from the *frozen* previous-sweep
+    /// labels (Jacobi style) and merged back in node order.
+    pub jobs: usize,
 }
 
 impl LabelOptions {
@@ -83,6 +90,7 @@ impl LabelOptions {
             max_wires: 1,
             relax: true,
             max_bdd_nodes: None,
+            jobs: 1,
         }
     }
 
@@ -150,6 +158,7 @@ impl LabelOutcome {
 /// Budget interruptions abort the whole probe (`Err`) — they never alter
 /// the label decision itself, which keeps governed and ungoverned runs
 /// decision-identical up to the abort point.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn label_candidate(
     c: &Circuit,
     v: usize,
@@ -157,19 +166,23 @@ pub(crate) fn label_candidate(
     labels: &[i64],
     opts: &LabelOptions,
     stats: &mut LabelStats,
-    gauge: &mut Gauge,
+    gauge: &Gauge,
+    caches: &SessionCaches,
+    scratch: &mut Scratch,
 ) -> Result<i64, Interrupted> {
     // Flow test: K-cut of height <= L(v)?
     stats.cut_tests += 1;
-    match Expansion::build(c, v, opts.phi, labels, big_l, opts.expand) {
-        Ok(exp) => {
-            gauge.charge(exp.nodes.len() as u64)?;
-            if exp.min_cut(opts.k).is_some() {
+    match caches
+        .exp
+        .expansion(c, v, opts.phi, labels, big_l, opts.expand, gauge)?
+    {
+        Ok(entry) => {
+            if entry.min_cut(opts.k, scratch).is_some() {
                 return Ok(big_l);
             }
             if opts.resynthesis {
                 stats.resyn_attempts += 1;
-                if resyn_realization(c, v, big_l, labels, opts, gauge)?.is_some() {
+                if resyn_realization(c, v, big_l, labels, opts, gauge, caches, scratch)?.is_some() {
                     stats.resyn_successes += 1;
                     return Ok(big_l);
                 }
@@ -189,30 +202,37 @@ pub(crate) fn label_candidate(
 /// ceiling makes the whole descent give up (`Ok(None)`, with a
 /// [`DegradeEvent::BddCeiling`] noted): deeper descents only grow the
 /// cut function, so retrying below a blown ceiling is pointless.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn resyn_realization(
     c: &Circuit,
     v: usize,
     big_l: i64,
     labels: &[i64],
     opts: &LabelOptions,
-    gauge: &mut Gauge,
+    gauge: &Gauge,
+    caches: &SessionCaches,
+    scratch: &mut Scratch,
 ) -> Result<Option<crate::seqdecomp::Realization>, Interrupted> {
     // Consecutive descent heights often yield the same min-cut; skip the
     // (expensive) decomposition retry when nothing changed.
     let mut last_cut: Option<Vec<(usize, i64)>> = None;
     for h in 0..64 {
         let height = big_l - h;
-        let exp = match Expansion::build(c, v, opts.phi, labels, height, opts.expand) {
-            Ok(exp) => exp,
-            Err(ExpandFail::PiMustBeInside) => return Ok(None),
-        };
-        gauge.charge(exp.nodes.len() as u64)?;
-        let Some(cut) = exp.min_cut(opts.cmax) else {
+        let entry =
+            match caches
+                .exp
+                .expansion(c, v, opts.phi, labels, height, opts.expand, gauge)?
+            {
+                Ok(entry) => entry,
+                Err(ExpandFail::PiMustBeInside) => return Ok(None),
+            };
+        let exp = &entry.exp;
+        let Some(cut) = entry.min_cut(opts.cmax, scratch) else {
             return Ok(None); // cut-size > Cmax (give up)
         };
         if cut.len() <= opts.k && exp.cut_height(&cut, opts.phi, labels) <= big_l {
             // Narrow enough already (the deeper min-cut shrank below K).
-            return Ok(Some(crate::seqdecomp::Realization::from_cut(&exp, c, &cut)));
+            return Ok(Some(crate::seqdecomp::Realization::from_cut(exp, c, &cut)));
         }
         let mut key: Vec<(usize, i64)> = cut
             .iter()
@@ -223,8 +243,8 @@ pub(crate) fn resyn_realization(
             continue; // identical cut function and criticalities: same verdict
         }
         last_cut = Some(key);
-        match crate::seqdecomp::resynthesize_wires(
-            &exp,
+        match crate::seqdecomp::resynthesize_cached(
+            exp,
             c,
             &cut,
             opts.phi,
@@ -233,6 +253,7 @@ pub(crate) fn resyn_realization(
             opts.k,
             opts.max_wires,
             opts.max_bdd_nodes,
+            &caches.decomp,
         ) {
             Ok(Some(r)) => return Ok(Some(r)),
             Ok(None) => {}
@@ -260,8 +281,8 @@ pub(crate) fn resyn_realization(
 ///
 /// Panics if the circuit is invalid or not K-bounded for `opts.k`.
 pub fn compute_labels(c: &Circuit, opts: &LabelOptions) -> LabelOutcome {
-    let mut gauge = Gauge::new(Budget::default());
-    compute_labels_governed(c, opts, &mut gauge).expect("an unlimited budget never interrupts")
+    let gauge = Gauge::new(Budget::default());
+    compute_labels_governed(c, opts, &gauge).expect("an unlimited budget never interrupts")
 }
 
 /// Runs the iterative label computation for target ratio `opts.phi`
@@ -291,8 +312,41 @@ pub fn compute_labels(c: &Circuit, opts: &LabelOptions) -> LabelOutcome {
 pub fn compute_labels_governed(
     c: &Circuit,
     opts: &LabelOptions,
-    gauge: &mut Gauge,
+    gauge: &Gauge,
 ) -> Result<LabelOutcome, Interrupted> {
+    let caches = SessionCaches::new();
+    compute_labels_with(c, opts, gauge, &caches)
+}
+
+/// [`compute_labels_governed`] against caller-owned [`SessionCaches`]
+/// (the engine's, shared across probes and runs).
+///
+/// ## The parallel sweep
+///
+/// The classic TurboMap sweep is Gauss–Seidel: each node's update reads
+/// the labels its SCC neighbours got *earlier in the same sweep*. To run
+/// updates concurrently, each sweep here is **Jacobi-style** instead:
+/// every pending node's candidate is computed from the frozen labels of
+/// the previous sweep, then all raises are merged back in node order.
+/// Both iterations are chaotic iterations of the same monotone operator,
+/// so they converge to the same least fixpoint — labels (and hence
+/// feasibility and the final mapping) are identical, only the sweep
+/// *count* differs from the Gauss–Seidel implementation. The `n²` and
+/// PLD stopping arguments are per-sweep properties and hold unchanged.
+///
+/// Because tasks read only frozen labels and results are merged in task
+/// order, the outcome is bit-identical for every `opts.jobs` value. A
+/// worker hitting a budget interruption aborts the pool; the error
+/// reported is re-derived from the gauge's sticky state so that the
+/// *kind* of interruption is deterministic even though which worker
+/// tripped first is not.
+pub(crate) fn compute_labels_with(
+    c: &Circuit,
+    opts: &LabelOptions,
+    gauge: &Gauge,
+    caches: &SessionCaches,
+) -> Result<LabelOutcome, Interrupted> {
+    caches.bind(c);
     c.validate().expect("circuit must be valid");
     assert!(
         c.is_k_bounded(opts.k),
@@ -372,21 +426,46 @@ pub fn compute_labels_governed(
                     });
                 }
             }
-            let mut changed = false;
-            for &v in &members {
-                let big_l = c
-                    .node(NodeId::from_index(v))
-                    .fanins
-                    .iter()
-                    .map(|f| labels[f.source.index()] - opts.phi * i64::from(f.weight))
-                    .max()
-                    .unwrap_or(0);
-                // Fast path: the candidate is at most L+1; if the current
-                // label already exceeds L, nothing can change.
-                if labels[v] > big_l {
-                    continue;
+            // Gather this sweep's pending updates from the frozen labels.
+            let tasks: Vec<(usize, i64)> = members
+                .iter()
+                .filter_map(|&v| {
+                    let big_l = c
+                        .node(NodeId::from_index(v))
+                        .fanins
+                        .iter()
+                        .map(|f| labels[f.source.index()] - opts.phi * i64::from(f.weight))
+                        .max()
+                        .unwrap_or(0);
+                    // Fast path: the candidate is at most L+1; if the
+                    // current label already exceeds L, nothing can change.
+                    (labels[v] <= big_l).then_some((v, big_l))
+                })
+                .collect();
+            if tasks.is_empty() {
+                break; // converged
+            }
+            let results = run_label_tasks(c, opts, &labels, &tasks, gauge, caches);
+            let mut first_err = None;
+            for r in &results {
+                if let Some(Err(i)) = r {
+                    first_err = Some(*i);
+                    break;
                 }
-                let cand = label_candidate(c, v, big_l, &labels, opts, &mut stats, gauge)?.max(1);
+            }
+            if let Some(i) = first_err {
+                return Err(normalize_interrupt(gauge, i));
+            }
+            // Merge raises back in task (= node) order.
+            let mut changed = false;
+            for (&(v, _), r) in tasks.iter().zip(results) {
+                let (cand, tstats) = r
+                    .expect("every task ran: no worker aborted")
+                    .expect("errors handled above");
+                stats.cut_tests += tstats.cut_tests;
+                stats.resyn_attempts += tstats.resyn_attempts;
+                stats.resyn_successes += tstats.resyn_successes;
+                let cand = cand.max(1);
                 if cand > labels[v] {
                     labels[v] = cand;
                     changed = true;
@@ -433,6 +512,106 @@ pub fn compute_labels_governed(
         }
     }
     Ok(LabelOutcome::Feasible { labels, stats })
+}
+
+/// One sweep task's result: the candidate label plus the work counters
+/// it accumulated. `None` slots mean the task never ran because a
+/// sibling worker aborted the pool (only possible alongside an `Err`).
+type TaskResult = Result<(i64, LabelStats), Interrupted>;
+
+/// Runs this sweep's label updates, serially or across a scoped worker
+/// pool. Tasks are split into contiguous chunks (one per worker), each
+/// worker owns a private [`Scratch`], and results land in per-task slots
+/// — so the caller merges them in deterministic task order regardless of
+/// scheduling.
+fn run_label_tasks(
+    c: &Circuit,
+    opts: &LabelOptions,
+    labels: &[i64],
+    tasks: &[(usize, i64)],
+    gauge: &Gauge,
+    caches: &SessionCaches,
+) -> Vec<Option<TaskResult>> {
+    let jobs = opts.jobs.max(1).min(tasks.len());
+    let mut results: Vec<Option<TaskResult>> = vec![None; tasks.len()];
+    if jobs <= 1 {
+        let mut scratch = Scratch::default();
+        for (&(v, big_l), slot) in tasks.iter().zip(results.iter_mut()) {
+            let mut tstats = LabelStats::default();
+            let r = label_candidate(
+                c,
+                v,
+                big_l,
+                labels,
+                opts,
+                &mut tstats,
+                gauge,
+                caches,
+                &mut scratch,
+            )
+            .map(|cand| (cand, tstats));
+            let stop = r.is_err();
+            *slot = Some(r);
+            if stop {
+                break;
+            }
+        }
+        return results;
+    }
+    let abort = AtomicBool::new(false);
+    let chunk = tasks.len().div_ceil(jobs);
+    std::thread::scope(|s| {
+        for (tchunk, rchunk) in tasks.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            let abort = &abort;
+            s.spawn(move || {
+                let mut scratch = Scratch::default();
+                for (&(v, big_l), slot) in tchunk.iter().zip(rchunk.iter_mut()) {
+                    if abort.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let mut tstats = LabelStats::default();
+                    let r = label_candidate(
+                        c,
+                        v,
+                        big_l,
+                        labels,
+                        opts,
+                        &mut tstats,
+                        gauge,
+                        caches,
+                        &mut scratch,
+                    )
+                    .map(|cand| (cand, tstats));
+                    let stop = r.is_err();
+                    if stop {
+                        abort.store(true, Ordering::Relaxed);
+                    }
+                    *slot = Some(r);
+                    if stop {
+                        return;
+                    }
+                }
+            });
+        }
+    });
+    results
+}
+
+/// Re-derives the interruption kind from the gauge's sticky state, so
+/// the error a parallel sweep reports does not depend on which worker
+/// happened to trip first: cancellation and deadline are readable flags,
+/// and an exceeded work budget shows in the monotone work counter. Only
+/// when none of those explain the abort is the recorded error kept.
+fn normalize_interrupt(gauge: &Gauge, recorded: Interrupted) -> Interrupted {
+    if let Err(i) = gauge.check() {
+        return i;
+    }
+    if let Some(cap) = gauge.budget().max_work {
+        if gauge.work() > cap {
+            return Interrupted::WorkExhausted;
+        }
+    }
+    recorded
 }
 
 #[cfg(test)]

@@ -56,6 +56,8 @@
 
 pub mod area;
 pub mod budget;
+mod cache;
+pub mod engine;
 pub mod error;
 pub mod expand;
 pub mod flow;
@@ -67,6 +69,8 @@ pub mod seqdecomp;
 pub mod verify;
 
 pub use budget::{Budget, CancelToken, Degradation, DegradeEvent, Gauge, Interrupted};
+pub use cache::CacheStats;
+pub use engine::Engine;
 pub use error::SynthesisError;
 pub use expand::ExpandLimits;
 pub use label::{

@@ -12,6 +12,7 @@
 //! [`crate::verify`]), and a final retiming/pipelining pass realizes the
 //! clock period φ.
 
+use crate::cache::{Scratch, SessionCaches};
 use crate::expand::{ExpandFail, Expansion};
 use crate::label::{resyn_realization, LabelOptions};
 use crate::seqdecomp::{LutInput, Realization};
@@ -47,10 +48,12 @@ pub(crate) fn realize(
     v: usize,
     labels: &[i64],
     opts: &LabelOptions,
+    caches: &SessionCaches,
+    scratch: &mut Scratch,
 ) -> Result<Realization, MapGenError> {
     let h = labels[v];
     if let Ok(exp) = Expansion::build(c, v, opts.phi, labels, h, opts.expand) {
-        if let Some(cut) = exp.min_cut(opts.k) {
+        if let Some(cut) = exp.min_cut_in(opts.k, &mut scratch.arena) {
             return Ok(Realization::from_cut(&exp, c, &cut));
         }
     } else {
@@ -63,8 +66,10 @@ pub(crate) fn realize(
         // determined by `opts` alone (including `max_bdd_nodes`, which is
         // part of the options precisely so the replay trips the same BDD
         // ceilings), so a throwaway unlimited gauge reproduces it exactly.
-        let mut replay = crate::budget::Gauge::new(crate::budget::Budget::default());
-        if let Ok(Some(r)) = resyn_realization(c, v, h, labels, opts, &mut replay) {
+        // Sharing the session caches only shortcuts the replay: cached
+        // decomposition verdicts are pure functions of their signatures.
+        let replay = crate::budget::Gauge::new(crate::budget::Budget::default());
+        if let Ok(Some(r)) = resyn_realization(c, v, h, labels, opts, &replay, caches, scratch) {
             return Ok(r);
         }
     }
@@ -75,7 +80,7 @@ pub(crate) fn realize(
     let exp = Expansion::build(c, v, opts.phi, labels, h + 1, opts.expand)
         .map_err(|ExpandFail::PiMustBeInside| MapGenError::Unrealizable { node: v })?;
     let cut = exp
-        .min_cut(opts.k)
+        .min_cut_in(opts.k, &mut scratch.arena)
         .ok_or(MapGenError::Unrealizable { node: v })?;
     Ok(Realization::from_cut(&exp, c, &cut))
 }
@@ -96,6 +101,21 @@ pub fn generate_mapping(
     labels: &[i64],
     opts: &LabelOptions,
 ) -> Result<Circuit, MapGenError> {
+    let caches = SessionCaches::new();
+    generate_mapping_with(c, labels, opts, &caches)
+}
+
+/// [`generate_mapping`] against caller-owned [`SessionCaches`], so the
+/// resynthesis replay reuses the decomposition verdicts the label search
+/// already cached.
+pub(crate) fn generate_mapping_with(
+    c: &Circuit,
+    labels: &[i64],
+    opts: &LabelOptions,
+    caches: &SessionCaches,
+) -> Result<Circuit, MapGenError> {
+    caches.bind(c);
+    let mut scratch = Scratch::default();
     let mut out = Circuit::new(format!("{}_mapped_k{}", c.name(), opts.k));
     let mut mapped: HashMap<usize, NodeId> = HashMap::new(); // orig -> out node
 
@@ -124,7 +144,7 @@ pub fn generate_mapping(
     // Realize every needed gate; realizations may add new requirements.
     let mut realizations: HashMap<usize, Realization> = HashMap::new();
     while let Some(v) = queue.pop() {
-        let r = realize(c, v, labels, opts)?;
+        let r = realize(c, v, labels, opts, caches, &mut scratch)?;
         for lut in &r.luts {
             for inp in &lut.inputs {
                 if let LutInput::Sequential { orig, .. } = *inp {
@@ -191,7 +211,7 @@ pub fn generate_mapping(
                 let Ok(exp) = Expansion::build(c, v, opts.phi, &eff, h, opts.expand) else {
                     break;
                 };
-                if let Some(cut) = exp.min_cut(opts.k) {
+                if let Some(cut) = exp.min_cut_in(opts.k, &mut scratch.arena) {
                     // The relaxed cut must not need any *new* gates (their
                     // realizations would not have been budget-checked);
                     // all inputs must already be realized or PIs.

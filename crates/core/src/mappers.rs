@@ -18,10 +18,11 @@
 
 use crate::area;
 use crate::budget::{Budget, Degradation, DegradeEvent, Gauge, Interrupted};
+use crate::cache::SessionCaches;
 use crate::error::SynthesisError;
 use crate::expand::ExpandLimits;
-use crate::label::{compute_labels_governed, LabelOptions, LabelOutcome, LabelStats, StopRule};
-use crate::mapgen::generate_mapping;
+use crate::label::{compute_labels_with, LabelOptions, LabelOutcome, LabelStats, StopRule};
+use crate::mapgen::generate_mapping_with;
 use crate::verify::verify_mapping;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -55,6 +56,10 @@ pub struct MapOptions {
     pub minimize_registers: bool,
     /// Cycles of post-mapping co-simulation used for verification.
     pub verify_cycles: usize,
+    /// Worker threads for the per-sweep label updates (`--jobs` on the
+    /// CLI). `1` runs serially; any value yields bit-identical reports
+    /// (see [`crate::label::compute_labels_governed`]).
+    pub jobs: usize,
     /// Resource budget for the whole run: wall clock, expansion work,
     /// per-decomposition BDD nodes, labeling sweeps, and a cancel token.
     /// Defaults to unlimited. On exhaustion the mappers degrade to the
@@ -76,6 +81,7 @@ impl Default for MapOptions {
             pack: true,
             minimize_registers: false,
             verify_cycles: 48,
+            jobs: 1,
             budget: Budget::default(),
         }
     }
@@ -101,6 +107,7 @@ impl MapOptions {
             max_wires: self.max_wires,
             relax: self.relax,
             max_bdd_nodes: self.budget.max_bdd_nodes,
+            jobs: self.jobs,
         }
     }
 
@@ -118,6 +125,11 @@ impl MapOptions {
                 "max_wires = {} out of the supported range 1..=2",
                 self.max_wires
             )));
+        }
+        if self.jobs == 0 {
+            return Err(SynthesisError::InvalidInput(
+                "jobs = 0; use 1 for a serial run".into(),
+            ));
         }
         Ok(())
     }
@@ -169,7 +181,8 @@ fn drive(
     opts: &MapOptions,
     resynthesis: bool,
     ub_hint: Option<i64>,
-    gauge: &mut Gauge,
+    gauge: &Gauge,
+    caches: &SessionCaches,
 ) -> Result<MapReport, SynthesisError> {
     let start = Instant::now();
     opts.validate()?;
@@ -188,7 +201,7 @@ fn drive(
     let mut hi = ub;
     while lo <= hi {
         let mid = lo + (hi - lo) / 2;
-        let out = match compute_labels_governed(&c, &opts.labels_for(mid, resynthesis), gauge) {
+        let out = match compute_labels_with(&c, &opts.labels_for(mid, resynthesis), gauge, caches) {
             Ok(out) => out,
             Err(i) => match interrupt_policy(i, best.is_some(), mid, gauge)? {
                 // Budget ran out but a verified-feasible φ exists: stop
@@ -215,7 +228,8 @@ fn drive(
             // under tight caps nothing may ever converge.
             let mut found = None;
             for phi in (ub + 1)..=(ub + 64) {
-                let out = compute_labels_governed(&c, &opts.labels_for(phi, resynthesis), gauge)?;
+                let out =
+                    compute_labels_with(&c, &opts.labels_for(phi, resynthesis), gauge, caches)?;
                 stats = add_stats(stats, out.stats());
                 probes.push((phi, out.is_feasible()));
                 if let LabelOutcome::Feasible { labels, .. } = out {
@@ -244,7 +258,7 @@ fn drive(
     // deadline: the search already committed to φ, and a verified result
     // beats a wasted run (bounded soft overshoot, documented on Budget).
     let lopts = opts.labels_for(phi, resynthesis);
-    let mut mapped = generate_mapping(&c, &labels, &lopts)
+    let mut mapped = generate_mapping_with(&c, &labels, &lopts, caches)
         .map_err(|e| SynthesisError::Internal(e.to_string()))?;
     area::sweep(&mut mapped);
     if opts.pack {
@@ -280,7 +294,7 @@ fn interrupt_policy(
     i: Interrupted,
     have_best: bool,
     phi: i64,
-    gauge: &mut Gauge,
+    gauge: &Gauge,
 ) -> Result<SearchCut, SynthesisError> {
     match i {
         // Cancellation is a hard stop regardless of partial results.
@@ -340,8 +354,16 @@ fn prepare(c: &Circuit, k: usize) -> Result<Circuit, SynthesisError> {
 /// exists; [`SynthesisError::Verify`] if the produced mapping fails its
 /// own verification (an internal bug, never expected on valid inputs).
 pub fn turbomap(c: &Circuit, opts: &MapOptions) -> Result<MapReport, SynthesisError> {
-    let mut gauge = Gauge::new(opts.budget.clone());
-    drive("TurboMap", c, opts, false, None, &mut gauge)
+    turbomap_with(c, opts, &SessionCaches::new())
+}
+
+pub(crate) fn turbomap_with(
+    c: &Circuit,
+    opts: &MapOptions,
+    caches: &SessionCaches,
+) -> Result<MapReport, SynthesisError> {
+    let gauge = Gauge::new(opts.budget.clone());
+    drive("TurboMap", c, opts, false, None, &gauge, caches)
 }
 
 /// TurboSYN (the paper): mapping with retiming, pipelining and
@@ -354,10 +376,18 @@ pub fn turbomap(c: &Circuit, opts: &MapOptions) -> Result<MapReport, SynthesisEr
 /// search share one budget; a budget cut in the prepass just leaves the
 /// search with a looser upper bound.
 pub fn turbosyn(c: &Circuit, opts: &MapOptions) -> Result<MapReport, SynthesisError> {
+    turbosyn_with(c, opts, &SessionCaches::new())
+}
+
+pub(crate) fn turbosyn_with(
+    c: &Circuit,
+    opts: &MapOptions,
+    caches: &SessionCaches,
+) -> Result<MapReport, SynthesisError> {
     opts.validate()?;
     // Upper bound from TurboMap's label search (labels only — cheap).
     let prep = prepare(c, opts.k)?;
-    let mut gauge = Gauge::new(opts.budget.clone());
+    let gauge = Gauge::new(opts.budget.clone());
     let tm_ub = period_lower_bound(&prep).max(1);
     let mut ub = tm_ub;
     // Find TurboMap's minimum phi to tighten the search range.
@@ -365,7 +395,7 @@ pub fn turbosyn(c: &Circuit, opts: &MapOptions) -> Result<MapReport, SynthesisEr
     let mut hi = tm_ub;
     while lo <= hi {
         let mid = lo + (hi - lo) / 2;
-        match compute_labels_governed(&prep, &opts.labels_for(mid, false), &mut gauge) {
+        match compute_labels_with(&prep, &opts.labels_for(mid, false), &gauge, caches) {
             Ok(out) if out.is_feasible() => {
                 ub = mid;
                 hi = mid - 1;
@@ -377,7 +407,7 @@ pub fn turbosyn(c: &Circuit, opts: &MapOptions) -> Result<MapReport, SynthesisEr
             Err(_) => break,
         }
     }
-    drive("TurboSYN", c, opts, true, Some(ub), &mut gauge)
+    drive("TurboSYN", c, opts, true, Some(ub), &gauge, caches)
 }
 
 /// FlowMap / FlowSYN for a combinational circuit: returns the mapped
@@ -392,6 +422,15 @@ pub fn map_combinational(
     opts: &MapOptions,
     resynthesis: bool,
 ) -> Result<(Circuit, i64), SynthesisError> {
+    map_combinational_with(c, opts, resynthesis, &SessionCaches::new())
+}
+
+pub(crate) fn map_combinational_with(
+    c: &Circuit,
+    opts: &MapOptions,
+    resynthesis: bool,
+    caches: &SessionCaches,
+) -> Result<(Circuit, i64), SynthesisError> {
     opts.validate()?;
     if !c
         .node_ids()
@@ -402,11 +441,11 @@ pub fn map_combinational(
         ));
     }
     let prep = prepare(c, opts.k)?;
-    let mut gauge = Gauge::new(opts.budget.clone());
+    let gauge = Gauge::new(opts.budget.clone());
     // With zero register weights the sequential labeler *is* FlowMap: φ
     // is irrelevant (no weights), and every φ is feasible on a DAG.
     let lopts = opts.labels_for(1, resynthesis);
-    let labels = match compute_labels_governed(&prep, &lopts, &mut gauge)? {
+    let labels = match compute_labels_with(&prep, &lopts, &gauge, caches)? {
         LabelOutcome::Feasible { labels, .. } => labels,
         // Combinational circuits are always feasible; only a sweep cap
         // can degrade the outcome to "infeasible".
@@ -416,7 +455,7 @@ pub fn map_combinational(
             })
         }
     };
-    let mut mapped = generate_mapping(&prep, &labels, &lopts)
+    let mut mapped = generate_mapping_with(&prep, &labels, &lopts, caches)
         .map_err(|e| SynthesisError::Internal(e.to_string()))?;
     area::sweep(&mut mapped);
     if opts.pack {
@@ -437,10 +476,18 @@ pub fn map_combinational(
 ///
 /// Same contract as [`turbomap`].
 pub fn flowsyn_s(c: &Circuit, opts: &MapOptions) -> Result<MapReport, SynthesisError> {
+    flowsyn_s_with(c, opts, &SessionCaches::new())
+}
+
+pub(crate) fn flowsyn_s_with(
+    c: &Circuit,
+    opts: &MapOptions,
+    caches: &SessionCaches,
+) -> Result<MapReport, SynthesisError> {
     let start = Instant::now();
     opts.validate()?;
     let prep = prepare(c, opts.k)?;
-    let mut gauge = Gauge::new(opts.budget.clone());
+    let gauge = Gauge::new(opts.budget.clone());
 
     // --- Split at registers -------------------------------------------
     // Pseudo-PI per distinct (source, weight>0) pair; every register
@@ -502,7 +549,7 @@ pub fn flowsyn_s(c: &Circuit, opts: &MapOptions) -> Result<MapReport, SynthesisE
 
     // --- Map the combinational network with FlowSYN --------------------
     let lopts = opts.labels_for(1, true);
-    let labels = match compute_labels_governed(&comb, &lopts, &mut gauge)? {
+    let labels = match compute_labels_with(&comb, &lopts, &gauge, caches)? {
         LabelOutcome::Feasible { labels, .. } => labels,
         // The split network is acyclic, hence always feasible; only a
         // sweep cap can degrade the outcome.
@@ -512,7 +559,7 @@ pub fn flowsyn_s(c: &Circuit, opts: &MapOptions) -> Result<MapReport, SynthesisE
             })
         }
     };
-    let mut mapped_comb = generate_mapping(&comb, &labels, &lopts)
+    let mut mapped_comb = generate_mapping_with(&comb, &labels, &lopts, caches)
         .map_err(|e| SynthesisError::Internal(e.to_string()))?;
     area::sweep(&mut mapped_comb);
     if opts.pack {

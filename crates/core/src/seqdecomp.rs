@@ -19,8 +19,9 @@
 //! [`Realization`]: the LUT tree that mapping generation will instantiate.
 
 use crate::expand::{ExpNode, Expansion};
+use turbosyn_bdd::cache::{CachedOutcome, LutTemplate, SignatureKey, TemplateInput, TemplateLut};
 use turbosyn_bdd::decompose::{decompose, recompose};
-use turbosyn_bdd::{Bdd, BddError, Manager};
+use turbosyn_bdd::{Bdd, BddError, DecompCache, Manager};
 use turbosyn_netlist::tt::TruthTable;
 use turbosyn_netlist::Circuit;
 
@@ -161,35 +162,182 @@ pub fn resynthesize_wires(
     // The cone construction itself is not budget-polled (manager ops are
     // infallible); a blown ceiling is caught by the first poll below.
     mgr.check_budget()?;
+    let deltas = cut_deltas(exp, cut, phi, labels, height);
+    let template = decompose_template(&mut mgr, f, m_inputs, &deltas, k, max_wires)?;
+    Ok(template.map(|t| instantiate(&t, &cut_srcs(exp, cut))))
+}
 
-    // Current root inputs: (BDD variable, signal label λ, source).
+/// Like [`resynthesize_wires`], but memoized in a [`DecompCache`] keyed
+/// by the canonical cut-function signature (truth table in cut order +
+/// criticality deltas + `k`/`max_wires`/`bdd_limit`).
+///
+/// On a miss the decomposition runs on a **fresh manager seeded from the
+/// truth table**, so the cached outcome is a pure function of the key
+/// and hit replays are exact — including [`BddError::NodeLimit`] trips,
+/// which are cached with their original counts. A ceiling trip during
+/// cone construction itself is *not* cached (it happens before the key
+/// exists and is cheap to re-derive). Cuts wider than 16 inputs exceed
+/// the flat-truth-table signature and fall back to the uncached path.
+///
+/// # Errors
+///
+/// Same contract as [`resynthesize_wires`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn resynthesize_cached(
+    exp: &Expansion,
+    c: &Circuit,
+    cut: &[usize],
+    phi: i64,
+    labels: &[i64],
+    height: i64,
+    k: usize,
+    max_wires: usize,
+    bdd_limit: Option<usize>,
+    cache: &DecompCache,
+) -> Result<Option<Realization>, BddError> {
+    if cut.is_empty() || cut.len() > 16 {
+        return resynthesize_wires(exp, c, cut, phi, labels, height, k, max_wires, bdd_limit);
+    }
+    assert!(
+        (1..=2).contains(&max_wires),
+        "1 or 2 encoding wires supported"
+    );
+    let mut cone_mgr = Manager::new();
+    cone_mgr.set_node_limit(bdd_limit);
+    let f = exp.cone_bdd(c, cut, &mut cone_mgr);
+    cone_mgr.check_budget()?;
+    let bits = cone_mgr.to_truth_table(f, cut.len() as u32)?;
+    drop(cone_mgr);
+    let deltas = cut_deltas(exp, cut, phi, labels, height);
+    let key = SignatureKey {
+        nvars: cut.len() as u8,
+        tt: bits.clone(),
+        deltas,
+        k: k as u8,
+        max_wires: max_wires as u8,
+        bdd_limit,
+    };
+    let srcs = cut_srcs(exp, cut);
+    if let Some(outcome) = cache.get(&key) {
+        return match outcome {
+            CachedOutcome::Realized(t) => Ok(Some(instantiate(&t, &srcs))),
+            CachedOutcome::NoRealization => Ok(None),
+            CachedOutcome::NodeLimit { nodes, limit } => Err(BddError::NodeLimit { nodes, limit }),
+        };
+    }
+    let mut mgr = Manager::new();
+    mgr.set_node_limit(bdd_limit);
+    let g = match mgr.from_truth_table(cut.len() as u32, &bits) {
+        Ok(g) => g,
+        Err(e) => {
+            if let BddError::NodeLimit { nodes, limit } = e {
+                cache.insert(key, CachedOutcome::NodeLimit { nodes, limit });
+            }
+            return Err(e);
+        }
+    };
+    match decompose_template(&mut mgr, g, cut.len(), &key.deltas, k, max_wires) {
+        Ok(Some(t)) => {
+            let r = instantiate(&t, &srcs);
+            cache.insert(key, CachedOutcome::Realized(t));
+            Ok(Some(r))
+        }
+        Ok(None) => {
+            cache.insert(key, CachedOutcome::NoRealization);
+            Ok(None)
+        }
+        Err(BddError::NodeLimit { nodes, limit }) => {
+            cache.insert(key, CachedOutcome::NodeLimit { nodes, limit });
+            Err(BddError::NodeLimit { nodes, limit })
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Per-cut-input criticality deltas `λ_i − height` (`λ_i = l(u_i) − φ·w_i`),
+/// in cut order. The decomposition pipeline only ever compares λ against
+/// `height − 1` / `height − 2` and takes maxima, so deltas carry all the
+/// timing information — and make signatures probe-independent.
+fn cut_deltas(exp: &Expansion, cut: &[usize], phi: i64, labels: &[i64], height: i64) -> Vec<i64> {
+    cut.iter()
+        .map(|&xi| {
+            let ExpNode { orig, weight } = exp.nodes[xi];
+            labels[orig] - phi * weight - height
+        })
+        .collect()
+}
+
+/// The sequential source of each cut input, in cut order.
+fn cut_srcs(exp: &Expansion, cut: &[usize]) -> Vec<LutInput> {
+    cut.iter()
+        .map(|&xi| {
+            let ExpNode { orig, weight } = exp.nodes[xi];
+            LutInput::Sequential { orig, weight }
+        })
+        .collect()
+}
+
+/// Binds a circuit-free [`LutTemplate`] to the concrete cut inputs.
+fn instantiate(template: &LutTemplate, srcs: &[LutInput]) -> Realization {
+    let luts = template
+        .luts
+        .iter()
+        .map(|lut| LutSpec {
+            tt: TruthTable::from_bits(lut.nvars, &lut.bits),
+            inputs: lut
+                .inputs
+                .iter()
+                .map(|inp| match *inp {
+                    TemplateInput::Cut(i) => srcs[i],
+                    TemplateInput::Lut(j) => LutInput::Internal(j),
+                })
+                .collect(),
+        })
+        .collect();
+    Realization {
+        luts,
+        root: template.root,
+    }
+}
+
+/// The decomposition pipeline proper, in circuit-free form: `f` lives in
+/// `mgr` over variables `0..nvars` (variable `i` = cut input `i`), and
+/// `deltas[i]` is input `i`'s criticality relative to the target height
+/// (burial requires `delta <= −2`, feeding the root requires
+/// `delta <= −1`). Deterministic in `(f, deltas, k, max_wires)` alone:
+/// the stable criticality sort is keyed on deltas over the initial cut
+/// order, and every [`decompose`] verdict is canonical in the function.
+fn decompose_template(
+    mgr: &mut Manager,
+    f: Bdd,
+    nvars: usize,
+    deltas: &[i64],
+    k: usize,
+    max_wires: usize,
+) -> Result<Option<LutTemplate>, BddError> {
+    // Current root inputs: (BDD variable, criticality delta, source).
     struct Sig {
         var: u32,
-        lambda: i64,
-        src: LutInput,
+        delta: i64,
+        src: TemplateInput,
     }
-    let mut sigs: Vec<Sig> = cut
-        .iter()
-        .enumerate()
-        .map(|(i, &xi)| {
-            let ExpNode { orig, weight } = exp.nodes[xi];
-            Sig {
-                var: i as u32,
-                lambda: labels[orig] - phi * weight,
-                src: LutInput::Sequential { orig, weight },
-            }
+    let mut sigs: Vec<Sig> = (0..nvars)
+        .map(|i| Sig {
+            var: i as u32,
+            delta: deltas[i],
+            src: TemplateInput::Cut(i),
         })
         .collect();
 
     // Drop inputs outside the support immediately.
     let support = mgr.support(f);
     sigs.retain(|s| support.contains(&s.var));
-    if sigs.iter().any(|s| s.lambda > height - 1) {
+    if sigs.iter().any(|s| s.delta > -1) {
         return Ok(None); // a critical input cannot even feed the root directly
     }
 
-    let mut next_var = m_inputs as u32;
-    let mut luts: Vec<LutSpec> = Vec::new();
+    let mut next_var = nvars as u32;
+    let mut luts: Vec<TemplateLut> = Vec::new();
     let mut current = f;
 
     loop {
@@ -200,8 +348,8 @@ pub fn resynthesize_wires(
         }
         // Candidates for burial: λ <= height − 2 (they will sit 2 levels
         // deep). Sorted by increasing λ — the paper's ordering.
-        sigs.sort_by_key(|s| s.lambda);
-        let buriable = sigs.iter().filter(|s| s.lambda <= height - 2).count();
+        sigs.sort_by_key(|s| s.delta);
+        let buriable = sigs.iter().filter(|s| s.delta <= -2).count();
         if buriable < 2 {
             return Ok(None);
         }
@@ -216,33 +364,34 @@ pub fn resynthesize_wires(
             for size in ((wires + 1)..=k.min(buriable)).rev() {
                 for start in 0..=(buriable - size) {
                     let bound: Vec<u32> = sigs[start..start + size].iter().map(|s| s.var).collect();
-                    let dec = match decompose(&mut mgr, current, &bound, wires, next_var) {
+                    let dec = match decompose(mgr, current, &bound, wires, next_var) {
                         Ok(Some(dec)) => dec,
                         Ok(None) => continue, // multiplicity too high for `wires`
                         Err(e) => return Err(e), // budget (or argument) failure
                     };
-                    debug_assert_eq!(recompose(&mut mgr, &dec), current);
+                    debug_assert_eq!(recompose(mgr, &dec), current);
                     // New signals sit one LUT level above their worst member.
-                    let lambda = sigs[start..start + size]
+                    let delta = sigs[start..start + size]
                         .iter()
-                        .map(|s| s.lambda)
+                        .map(|s| s.delta)
                         .max()
                         .expect("non-empty bound set")
                         + 1;
-                    let enc_inputs: Vec<LutInput> =
+                    let enc_inputs: Vec<TemplateInput> =
                         sigs[start..start + size].iter().map(|s| s.src).collect();
                     let mut new_sigs = Vec::new();
                     for (&enc, &var) in dec.encoders.iter().zip(&dec.encoder_vars) {
-                        let enc_tt = bdd_to_tt(&mgr, enc, &bound);
+                        let enc_tt = bdd_to_tt(mgr, enc, &bound);
                         let lut_idx = luts.len();
-                        luts.push(LutSpec {
-                            tt: enc_tt,
+                        luts.push(TemplateLut {
+                            nvars: enc_tt.nvars(),
+                            bits: enc_tt.bits().to_vec(),
                             inputs: enc_inputs.clone(),
                         });
                         new_sigs.push(Sig {
                             var,
-                            lambda,
-                            src: LutInput::Internal(lut_idx),
+                            delta,
+                            src: TemplateInput::Lut(lut_idx),
                         });
                         next_var = next_var.max(var + 1);
                     }
@@ -261,19 +410,20 @@ pub fn resynthesize_wires(
     }
 
     // Root LUT over the remaining signals.
-    if sigs.iter().any(|s| s.lambda > height - 1) {
+    if sigs.iter().any(|s| s.delta > -1) {
         return Ok(None);
     }
     let root_vars: Vec<u32> = sigs.iter().map(|s| s.var).collect();
-    let root_tt = bdd_to_tt(&mgr, current, &root_vars);
-    let root_inputs: Vec<LutInput> = sigs.iter().map(|s| s.src).collect();
+    let root_tt = bdd_to_tt(mgr, current, &root_vars);
+    let root_inputs: Vec<TemplateInput> = sigs.iter().map(|s| s.src).collect();
     let root = luts.len();
-    luts.push(LutSpec {
-        tt: root_tt,
+    luts.push(TemplateLut {
+        nvars: root_tt.nvars(),
+        bits: root_tt.bits().to_vec(),
         inputs: root_inputs,
     });
     debug_assert!(luts.iter().all(|l| l.inputs.len() <= k));
-    Ok(Some(Realization { luts, root }))
+    Ok(Some(LutTemplate { luts, root }))
 }
 
 /// Dumps a BDD whose support is within `vars` as a truth table whose

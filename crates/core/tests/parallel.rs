@@ -1,0 +1,175 @@
+//! Parallel label-sweep contract: `jobs` changes wall-clock only.
+//!
+//! The sweep is a Jacobi iteration — every task reads the frozen
+//! previous-sweep labels and results merge in task order — so the fixed
+//! point, and with it every field of the [`MapReport`], is bit-identical
+//! for any worker count. These tests pin that contract on seeded
+//! generator circuits, and check that cooperative cancellation still
+//! stops a multi-worker run promptly.
+
+use std::time::{Duration, Instant};
+use turbosyn::{turbomap, turbosyn, Budget, CancelToken, MapOptions, MapReport, SynthesisError};
+use turbosyn_netlist::{blif, gen, Circuit};
+
+fn opts_with_jobs(jobs: usize) -> MapOptions {
+    MapOptions {
+        jobs,
+        ..MapOptions::default()
+    }
+}
+
+/// Every observable output of a run, including the serialized netlists.
+#[allow(clippy::type_complexity)]
+fn fingerprint(r: &MapReport) -> (i64, usize, u64, i64, Vec<(i64, bool)>, String, String) {
+    (
+        r.phi,
+        r.lut_count,
+        r.register_count,
+        r.clock_period,
+        r.probes.clone(),
+        blif::write(&r.mapped),
+        blif::write(&r.final_circuit),
+    )
+}
+
+fn assert_jobs_invariant(c: &Circuit, run: impl Fn(&Circuit, &MapOptions) -> MapReport) {
+    let serial = run(c, &opts_with_jobs(1));
+    assert!(
+        serial.degradation.is_none(),
+        "unbudgeted runs must not degrade"
+    );
+    for jobs in [2, 8] {
+        let parallel = run(c, &opts_with_jobs(jobs));
+        assert!(parallel.degradation.is_none());
+        assert_eq!(
+            fingerprint(&parallel),
+            fingerprint(&serial),
+            "jobs={jobs} diverged from serial on {}",
+            c.name()
+        );
+    }
+}
+
+#[test]
+fn turbosyn_is_deterministic_across_worker_counts() {
+    let circuits = [
+        gen::fsm(gen::FsmConfig {
+            state_bits: 3,
+            inputs: 3,
+            outputs: 2,
+            depth: 4,
+            seed: 11,
+        }),
+        gen::fsm(gen::FsmConfig {
+            state_bits: 4,
+            inputs: 2,
+            outputs: 3,
+            depth: 3,
+            seed: 42,
+        }),
+        gen::fsm(gen::FsmConfig {
+            state_bits: 2,
+            inputs: 4,
+            outputs: 2,
+            depth: 5,
+            seed: 1234,
+        }),
+    ];
+    for c in &circuits {
+        assert_jobs_invariant(c, |c, o| turbosyn(c, o).expect("maps"));
+    }
+}
+
+#[test]
+fn turbomap_is_deterministic_across_worker_counts() {
+    let c = gen::fsm(gen::FsmConfig {
+        state_bits: 3,
+        inputs: 2,
+        outputs: 2,
+        depth: 4,
+        seed: 7,
+    });
+    assert_jobs_invariant(&c, |c, o| turbomap(c, o).expect("maps"));
+}
+
+#[test]
+fn figure1_headline_survives_any_worker_count() {
+    // The paper's running example: turbomap needs φ = 2, turbosyn's
+    // resynthesis reaches φ = 1. Parallelism must not disturb either.
+    let c = gen::figure1();
+    for jobs in [1, 3, 8] {
+        let tm = turbomap(&c, &opts_with_jobs(jobs)).expect("turbomap");
+        let ts = turbosyn(&c, &opts_with_jobs(jobs)).expect("turbosyn");
+        assert_eq!(tm.phi, 2, "jobs={jobs}");
+        assert_eq!(ts.phi, 1, "jobs={jobs}");
+    }
+}
+
+#[test]
+fn cancellation_stops_a_parallel_run_within_deadline() {
+    // A circuit big enough that mapping takes a while, cancelled from
+    // another thread shortly after the run starts. The parallel sweep
+    // must observe the token at its next governance poll and return the
+    // typed error well before the run could have finished on its own.
+    let c = gen::fsm(gen::FsmConfig {
+        state_bits: 8,
+        inputs: 4,
+        outputs: 4,
+        depth: 10,
+        seed: 99,
+    });
+    let token = CancelToken::new();
+    let opts = MapOptions {
+        jobs: 8,
+        budget: Budget::default().with_cancel(token.clone()),
+        ..MapOptions::default()
+    };
+    let canceller = {
+        let token = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            token.cancel();
+        })
+    };
+    let start = Instant::now();
+    let result = turbosyn(&c, &opts);
+    let elapsed = start.elapsed();
+    canceller.join().expect("canceller thread");
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "cancelled run took {elapsed:?}"
+    );
+    match result {
+        Err(SynthesisError::Cancelled) => {}
+        Ok(r) => {
+            // Only acceptable if the whole run beat the 30 ms fuse.
+            assert!(
+                r.elapsed < Duration::from_millis(30),
+                "run neither finished early nor reported cancellation"
+            );
+        }
+        Err(e) => panic!("expected Cancelled, got {e}"),
+    }
+}
+
+#[test]
+fn pre_cancelled_parallel_run_fails_promptly() {
+    let token = CancelToken::new();
+    token.cancel();
+    let c = gen::fsm(gen::FsmConfig {
+        state_bits: 4,
+        inputs: 3,
+        outputs: 2,
+        depth: 4,
+        seed: 3,
+    });
+    let opts = MapOptions {
+        jobs: 8,
+        budget: Budget::default().with_cancel(token),
+        ..MapOptions::default()
+    };
+    let start = Instant::now();
+    let err = turbosyn(&c, &opts).expect_err("cancelled before any work");
+    assert!(matches!(err, SynthesisError::Cancelled), "got {err}");
+    assert!(start.elapsed() < Duration::from_secs(5));
+}

@@ -537,7 +537,7 @@ mod tests {
                     let cw = w + e.weight;
                     if cw > 0 {
                         let r = Ratio::new(d, cw);
-                        if best.is_none_or(|b| r > b) {
+                        if !best.is_some_and(|b| r <= b) {
                             *best = Some(r);
                         }
                     }

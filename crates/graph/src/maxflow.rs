@@ -38,7 +38,7 @@ struct Arc {
 /// net.add_arc(2, 3, 1);
 /// assert_eq!(net.max_flow(0, 3, 10), 2);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct FlowNetwork {
     adj: Vec<Vec<u32>>,
     arcs: Vec<Arc>,
@@ -55,6 +55,26 @@ impl FlowNetwork {
             level: vec![-1; n],
             iter: vec![0; n],
         }
+    }
+
+    /// Clears the network back to `n` isolated nodes while keeping the
+    /// backing allocations, so a long-lived network (see [`FlowArena`])
+    /// can be reused across many flow computations without reallocating
+    /// its adjacency and arc buffers each time.
+    pub fn reset(&mut self, n: usize) {
+        for a in &mut self.adj {
+            a.clear();
+        }
+        if self.adj.len() > n {
+            self.adj.truncate(n);
+        } else {
+            self.adj.resize_with(n, Vec::new);
+        }
+        self.arcs.clear();
+        self.level.clear();
+        self.level.resize(n, -1);
+        self.iter.clear();
+        self.iter.resize(n, 0);
     }
 
     /// Number of nodes.
@@ -265,6 +285,75 @@ pub fn min_vertex_cut_interruptible(
     limit: u32,
     stop: &AtomicBool,
 ) -> Option<VertexCut> {
+    let mut arena = FlowArena::new();
+    arena.min_vertex_cut_interruptible(g, sources, sinks, cap, limit, stop)
+}
+
+/// Reusable scratch buffers for repeated min-cut computations.
+///
+/// The label sweep solves one minimum vertex cut per node per sweep; the
+/// network layout differs every time but the buffer *shapes* recur, so a
+/// per-worker arena amortizes the allocations. An arena is deliberately
+/// `!Sync`-by-convention — each worker thread owns one (`&mut` access) —
+/// while the inputs it operates on are shared.
+#[derive(Debug, Default)]
+pub struct FlowArena {
+    net: FlowNetwork,
+}
+
+impl FlowArena {
+    /// A fresh arena with empty buffers.
+    pub fn new() -> Self {
+        FlowArena {
+            net: FlowNetwork::new(0),
+        }
+    }
+
+    /// [`min_vertex_cut`] computed in this arena's reusable network.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`min_vertex_cut`].
+    pub fn min_vertex_cut(
+        &mut self,
+        g: &Digraph,
+        sources: &[usize],
+        sinks: &[usize],
+        cap: &[u32],
+        limit: u32,
+    ) -> VertexCut {
+        self.min_vertex_cut_interruptible(g, sources, sinks, cap, limit, &NEVER)
+            .expect("a never-set stop flag cannot interrupt")
+    }
+
+    /// [`min_vertex_cut_interruptible`] computed in this arena's
+    /// reusable network.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`min_vertex_cut`].
+    pub fn min_vertex_cut_interruptible(
+        &mut self,
+        g: &Digraph,
+        sources: &[usize],
+        sinks: &[usize],
+        cap: &[u32],
+        limit: u32,
+        stop: &AtomicBool,
+    ) -> Option<VertexCut> {
+        min_vertex_cut_in(&mut self.net, g, sources, sinks, cap, limit, stop)
+    }
+}
+
+fn min_vertex_cut_in(
+    net: &mut FlowNetwork,
+    g: &Digraph,
+    sources: &[usize],
+    sinks: &[usize],
+    cap: &[u32],
+    limit: u32,
+    stop: &AtomicBool,
+) -> Option<VertexCut> {
     assert_eq!(cap.len(), g.node_count(), "capacity table size mismatch");
     assert!(!sources.is_empty(), "no sources");
     assert!(!sinks.is_empty(), "no sinks");
@@ -280,7 +369,7 @@ pub fn min_vertex_cut_interruptible(
     }
 
     // Layout: v_in = 2v, v_out = 2v+1, super-source = 2n, super-sink = 2n+1.
-    let mut net = FlowNetwork::new(2 * n + 2);
+    net.reset(2 * n + 2);
     let (ss, tt) = (2 * n, 2 * n + 1);
     for v in 0..n {
         let c = if is_source[v] || is_sink[v] {
@@ -457,6 +546,38 @@ mod tests {
             min_vertex_cut_interruptible(&g, &[0], &[3], &[1; 4], 5, &AtomicBool::new(true)),
             None
         );
+    }
+
+    #[test]
+    fn arena_reuse_matches_fresh_networks() {
+        let mut arena = FlowArena::new();
+        for size in [4usize, 8, 3, 12] {
+            // A funnel: sources 0..size/2 through one mid vertex to the sink.
+            let mid = size;
+            let sink = size + 1;
+            let mut g = Digraph::new(size + 2);
+            for s in 0..size / 2 {
+                g.add_edge(s, mid, 0);
+            }
+            g.add_edge(mid, sink, 0);
+            let caps = vec![1u32; size + 2];
+            let srcs: Vec<usize> = (0..size / 2).collect();
+            let fresh = min_vertex_cut(&g, &srcs, &[sink], &caps, 10);
+            let reused = arena.min_vertex_cut(&g, &srcs, &[sink], &caps, 10);
+            assert_eq!(fresh, reused, "size {size}");
+        }
+    }
+
+    #[test]
+    fn reset_clears_previous_arcs() {
+        let mut net = FlowNetwork::new(3);
+        net.add_arc(0, 1, 7);
+        net.add_arc(1, 2, 7);
+        assert_eq!(net.max_flow(0, 2, 100), 7);
+        net.reset(2);
+        assert_eq!(net.node_count(), 2);
+        // No arcs survive the reset: zero flow in the fresh network.
+        assert_eq!(net.max_flow(0, 1, 100), 0);
     }
 
     #[test]

@@ -160,7 +160,7 @@ fn vertex_cut_is_minimum() {
             let r = reachable_from(&g, [src], |e| !blocked[e.to] && !blocked[e.from]);
             if !r[dst] {
                 let size = mask.count_ones() as usize;
-                if best.is_none_or(|b| size < b) {
+                if !best.is_some_and(|b| size >= b) {
                     best = Some(size);
                 }
             }

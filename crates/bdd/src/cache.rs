@@ -180,6 +180,14 @@ impl DecompCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Zeroes the hit/miss counters while keeping every cached entry —
+    /// so an embedding service can report per-request deltas from a
+    /// still-warm cache.
+    pub fn reset_counters(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
     /// Distinct signatures stored.
     pub fn len(&self) -> usize {
         self.map.lock().expect("decomp cache poisoned").len()
@@ -219,6 +227,18 @@ mod tests {
         assert_eq!(c.get(&key(6)), Some(CachedOutcome::NoRealization));
         assert_eq!(c.hits(), 1);
         assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn reset_counters_keeps_entries() {
+        let c = DecompCache::new();
+        c.insert(key(6), CachedOutcome::NoRealization);
+        assert!(c.get(&key(6)).is_some());
+        assert!(c.get(&key(7)).is_none());
+        c.reset_counters();
+        assert_eq!((c.hits(), c.misses()), (0, 0));
+        assert!(c.get(&key(6)).is_some(), "entries survive a counter reset");
+        assert_eq!(c.hits(), 1);
     }
 
     #[test]

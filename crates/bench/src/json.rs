@@ -1,8 +1,10 @@
 //! Reading and writing `BENCH_*.json` timing files.
 //!
-//! The workspace has no serde dependency, so this is a hand-rolled
-//! writer plus a recursive-descent parser for the one fixed schema the
-//! bench harness emits:
+//! The generic JSON machinery lives in the shared [`turbosyn_json`]
+//! crate (the hand-rolled parser that used to sit here was promoted
+//! there so the CLI, the bench harness, and `turbosyn-serve` share one
+//! implementation). This module keeps only the schema layer for the one
+//! file shape the bench harness emits:
 //!
 //! ```json
 //! {
@@ -21,6 +23,7 @@
 //! and the runner executing a CI gate.
 
 use std::fmt::Write as _;
+use turbosyn_json::{quote, Json};
 
 /// One recorded benchmark timing.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,6 +61,9 @@ impl BenchFile {
     }
 
     /// Serializes to the canonical JSON layout (trailing newline).
+    ///
+    /// The pretty layout is kept byte-for-byte stable — committed
+    /// `BENCH_baseline.json` files are diffed by humans.
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut out = String::new();
@@ -85,194 +91,29 @@ impl BenchFile {
     /// A human-readable description of the first syntax or schema
     /// problem encountered.
     pub fn parse(text: &str) -> Result<BenchFile, String> {
-        let mut p = Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        };
-        let file = p.file()?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(format!("trailing garbage at byte {}", p.pos));
-        }
-        Ok(file)
-    }
-}
-
-fn quote(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl Parser<'_> {
-    fn skip_ws(&mut self) {
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| b.is_ascii_whitespace())
-        {
-            self.pos += 1;
-        }
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        self.skip_ws();
-        if self.bytes.get(self.pos) == Some(&b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!(
-                "expected '{}' at byte {}, found {:?}",
-                b as char,
-                self.pos,
-                self.bytes.get(self.pos).map(|&c| c as char)
-            ))
-        }
-    }
-
-    fn peek(&mut self) -> Option<u8> {
-        self.skip_ws();
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.bytes.get(self.pos) {
-                None => return Err("unterminated string".into()),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.bytes.get(self.pos) {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b't') => out.push('\t'),
-                        other => {
-                            return Err(format!("unsupported escape {other:?}"));
-                        }
-                    }
-                    self.pos += 1;
-                }
-                Some(&b) => {
-                    // Benchmark names are ASCII; pass other bytes through
-                    // untouched so valid UTF-8 survives a round trip.
-                    out.push(b as char);
-                    self.pos += 1;
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<u128, String> {
-        self.skip_ws();
-        let start = self.pos;
-        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
-            self.pos += 1;
-        }
-        if start == self.pos {
-            return Err(format!("expected a number at byte {start}"));
-        }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("digits are UTF-8")
-            .parse()
-            .map_err(|e| format!("bad number at byte {start}: {e}"))
-    }
-
-    fn result_entry(&mut self) -> Result<BenchResult, String> {
-        self.expect(b'{')?;
-        let mut name = None;
-        let mut median_ns = None;
-        loop {
-            let key = self.string()?;
-            self.expect(b':')?;
-            match key.as_str() {
-                "name" => name = Some(self.string()?),
-                "median_ns" => median_ns = Some(self.number()?),
-                other => return Err(format!("unknown result key {other:?}")),
-            }
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    break;
-                }
-                other => return Err(format!("expected ',' or '}}', found {other:?}")),
-            }
-        }
-        Ok(BenchResult {
-            name: name.ok_or("result missing \"name\"")?,
-            median_ns: median_ns.ok_or("result missing \"median_ns\"")?,
-        })
-    }
-
-    fn file(&mut self) -> Result<BenchFile, String> {
-        self.expect(b'{')?;
+        let root = Json::parse(text).map_err(|e| e.to_string())?;
+        let pairs = root.as_obj().ok_or("top level must be an object")?;
         let mut calib_ns = None;
         let mut results = None;
-        loop {
-            let key = self.string()?;
-            self.expect(b':')?;
+        for (key, value) in pairs {
             match key.as_str() {
                 "schema" => {
-                    let v = self.number()?;
+                    let v = value.as_int().ok_or("\"schema\" must be a number")?;
                     if v != 1 {
                         return Err(format!("unsupported schema version {v}"));
                     }
                 }
-                "calib_ns" => calib_ns = Some(self.number()?),
+                "calib_ns" => calib_ns = Some(non_negative(value, "calib_ns")?),
                 "results" => {
-                    self.expect(b'[')?;
-                    let mut list = Vec::new();
-                    if self.peek() == Some(b']') {
-                        self.pos += 1;
-                    } else {
-                        loop {
-                            list.push(self.result_entry()?);
-                            match self.peek() {
-                                Some(b',') => self.pos += 1,
-                                Some(b']') => {
-                                    self.pos += 1;
-                                    break;
-                                }
-                                other => {
-                                    return Err(format!("expected ',' or ']', found {other:?}"));
-                                }
-                            }
-                        }
-                    }
-                    results = Some(list);
+                    let items = value.as_arr().ok_or("\"results\" must be an array")?;
+                    results = Some(
+                        items
+                            .iter()
+                            .map(result_entry)
+                            .collect::<Result<Vec<_>, _>>()?,
+                    );
                 }
                 other => return Err(format!("unknown top-level key {other:?}")),
-            }
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    break;
-                }
-                other => return Err(format!("expected ',' or '}}', found {other:?}")),
             }
         }
         Ok(BenchFile {
@@ -280,6 +121,37 @@ impl Parser<'_> {
             results: results.ok_or("file missing \"results\"")?,
         })
     }
+}
+
+fn non_negative(value: &Json, what: &str) -> Result<u128, String> {
+    let n = value
+        .as_int()
+        .ok_or(format!("\"{what}\" must be a number"))?;
+    u128::try_from(n).map_err(|_| format!("\"{what}\" must be non-negative, got {n}"))
+}
+
+fn result_entry(entry: &Json) -> Result<BenchResult, String> {
+    let pairs = entry.as_obj().ok_or("each result must be an object")?;
+    let mut name = None;
+    let mut median_ns = None;
+    for (key, value) in pairs {
+        match key.as_str() {
+            "name" => {
+                name = Some(
+                    value
+                        .as_str()
+                        .ok_or("\"name\" must be a string")?
+                        .to_string(),
+                );
+            }
+            "median_ns" => median_ns = Some(non_negative(value, "median_ns")?),
+            other => return Err(format!("unknown result key {other:?}")),
+        }
+    }
+    Ok(BenchResult {
+        name: name.ok_or("result missing \"name\"")?,
+        median_ns: median_ns.ok_or("result missing \"median_ns\"")?,
+    })
 }
 
 #[cfg(test)]
@@ -337,6 +209,18 @@ mod tests {
             "trailing garbage"
         );
         assert!(BenchFile::parse("{\"calib_ns\": -3, \"results\": []}").is_err());
+        assert!(
+            BenchFile::parse("{\"calib_ns\": 1, \"results\": [], \"extra\": 0}").is_err(),
+            "unknown top-level key"
+        );
+        assert!(
+            BenchFile::parse(
+                "{\"calib_ns\": 1, \"results\": [{\"name\": \"a\", \"median_ns\": 1, \
+                 \"p99\": 2}]}"
+            )
+            .is_err(),
+            "unknown result key"
+        );
     }
 
     #[test]

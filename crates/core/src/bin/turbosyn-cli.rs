@@ -4,6 +4,8 @@
 //! turbosyn-cli [OPTIONS] <input.blif>
 //!
 //!   -o, --output <file>     write the mapped netlist (default: stdout)
+//!       --emit-json <file>  also write the canonical MapReport JSON (the
+//!                           same encoding the turbosyn-serve daemon returns)
 //!   -k <K>                  LUT input count (default 5)
 //!   -a, --algorithm <name>  turbosyn | turbomap | flowsyn-s (default turbosyn)
 //!       --max-wires <1|2>   decomposition wires (default 1)
@@ -27,6 +29,10 @@
 //!
 //! Ctrl-C triggers cooperative cancellation: the run stops at the next
 //! governance poll and exits with code 4.
+//!
+//! `turbosyn-cli serve ...` delegates to the `turbosyn-serve` daemon
+//! binary (searched next to this executable, then on `PATH`), so the
+//! service is reachable from the same front door as one-shot mapping.
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -46,6 +52,7 @@ const EXIT_BUDGET: u8 = 4;
 struct Args {
     input: String,
     output: Option<String>,
+    emit_json: Option<String>,
     k: usize,
     algorithm: String,
     max_wires: usize,
@@ -59,15 +66,18 @@ struct Args {
 }
 
 fn usage() -> &'static str {
-    "usage: turbosyn-cli [-o out.blif] [-k K] [-a turbosyn|turbomap|flowsyn-s] \
+    "usage: turbosyn-cli [-o out.blif] [--emit-json report.json] [-k K] \
+     [-a turbosyn|turbomap|flowsyn-s] \
      [--max-wires 1|2] [--timeout-ms N] [--max-bdd-nodes N] [-j N] \
-     [--min-registers] [--no-pack] [--optimize] [--stats] input.blif"
+     [--min-registers] [--no-pack] [--optimize] [--stats] input.blif\n\
+     \x20      turbosyn-cli serve [turbosyn-serve options...]"
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
         input: String::new(),
         output: None,
+        emit_json: None,
         k: 5,
         algorithm: "turbosyn".into(),
         max_wires: 1,
@@ -85,6 +95,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "-h" | "--help" => return Err(usage().into()),
             "-o" | "--output" => {
                 args.output = Some(it.next().ok_or("missing value for -o")?.clone());
+            }
+            "--emit-json" => {
+                args.emit_json = Some(it.next().ok_or("missing value for --emit-json")?.clone());
             }
             "-k" => {
                 let v = it.next().ok_or("missing value for -k")?;
@@ -218,8 +231,32 @@ fn install_ctrl_c(token: CancelToken) {
 #[cfg(not(unix))]
 fn install_ctrl_c(_token: CancelToken) {}
 
+/// Delegates `turbosyn-cli serve ...` to the `turbosyn-serve` binary:
+/// first the one sitting next to this executable (the cargo layout),
+/// then whatever `PATH` resolves.
+fn delegate_serve(rest: &[String]) -> ExitCode {
+    let sibling = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.join("turbosyn-serve")))
+        .filter(|p| p.exists());
+    let program = sibling.unwrap_or_else(|| std::path::PathBuf::from("turbosyn-serve"));
+    match std::process::Command::new(&program).args(rest).status() {
+        Ok(status) => match status.code() {
+            Some(code) => ExitCode::from(u8::try_from(code).unwrap_or(EXIT_INTERNAL)),
+            None => ExitCode::from(EXIT_INTERNAL),
+        },
+        Err(e) => {
+            eprintln!("cannot launch {}: {e}", program.display());
+            ExitCode::from(EXIT_INTERNAL)
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("serve") {
+        return delegate_serve(&argv[1..]);
+    }
     let args = match parse_args(&argv) {
         Ok(a) => a,
         Err(msg) if argv.iter().any(|a| a == "-h" || a == "--help") => {
@@ -292,6 +329,14 @@ fn main() -> ExitCode {
             eprintln!("  - {ev}");
         }
     }
+    if let Some(path) = &args.emit_json {
+        let mut json = turbosyn::report_to_json(&report).write();
+        json.push('\n');
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::from(EXIT_INTERNAL);
+        }
+    }
     let out_text = blif::write(&report.final_circuit);
     match &args.output {
         Some(path) => {
@@ -320,6 +365,7 @@ mod tests {
         assert_eq!(a.algorithm, "turbosyn");
         assert!(a.pack && !a.min_registers && !a.optimize && !a.stats);
         assert_eq!(a.output, None);
+        assert_eq!(a.emit_json, None);
         assert_eq!(a.timeout_ms, None);
         assert_eq!(a.max_bdd_nodes, None);
         assert_eq!(a.jobs, 1);
@@ -330,6 +376,8 @@ mod tests {
         let a = args(&[
             "-o",
             "out.blif",
+            "--emit-json",
+            "report.json",
             "-k",
             "4",
             "-a",
@@ -350,6 +398,7 @@ mod tests {
         ])
         .expect("parses");
         assert_eq!(a.output.as_deref(), Some("out.blif"));
+        assert_eq!(a.emit_json.as_deref(), Some("report.json"));
         assert_eq!(a.k, 4);
         assert_eq!(a.algorithm, "turbomap");
         assert_eq!(a.max_wires, 2);

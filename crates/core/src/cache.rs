@@ -105,6 +105,11 @@ impl ExpCache {
         }
     }
 
+    fn reset_counters(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
     /// Returns the cached skeleton for `(root, phi, height)` when its
     /// label snapshot still matches, else builds (and caches) a fresh
     /// one. The gauge is charged the skeleton's node count either way.
@@ -155,6 +160,9 @@ impl ExpCache {
 }
 
 /// Cache performance counters of one engine/session.
+///
+/// Counters are monotonic totals; [`CacheStats::delta_since`] turns two
+/// snapshots into the per-request delta an embedding service reports.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Expansion-skeleton lookups answered from the cache.
@@ -165,6 +173,53 @@ pub struct CacheStats {
     pub decomposition_hits: u64,
     /// Decomposition signatures computed fresh.
     pub decomposition_misses: u64,
+}
+
+impl CacheStats {
+    /// The counter increments between `earlier` and `self`.
+    ///
+    /// Saturating: a reset between the two snapshots yields the
+    /// post-reset totals instead of an underflowed garbage delta.
+    #[must_use]
+    pub fn delta_since(&self, earlier: CacheStats) -> CacheStats {
+        CacheStats {
+            expansion_hits: self.expansion_hits.saturating_sub(earlier.expansion_hits),
+            expansion_misses: self
+                .expansion_misses
+                .saturating_sub(earlier.expansion_misses),
+            decomposition_hits: self
+                .decomposition_hits
+                .saturating_sub(earlier.decomposition_hits),
+            decomposition_misses: self
+                .decomposition_misses
+                .saturating_sub(earlier.decomposition_misses),
+        }
+    }
+
+    /// Total lookups answered from either cache.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.expansion_hits + self.decomposition_hits
+    }
+
+    /// Total lookups that had to compute fresh results.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.expansion_misses + self.decomposition_misses
+    }
+}
+
+impl std::ops::Add for CacheStats {
+    type Output = CacheStats;
+
+    fn add(self, rhs: CacheStats) -> CacheStats {
+        CacheStats {
+            expansion_hits: self.expansion_hits + rhs.expansion_hits,
+            expansion_misses: self.expansion_misses + rhs.expansion_misses,
+            decomposition_hits: self.decomposition_hits + rhs.decomposition_hits,
+            decomposition_misses: self.decomposition_misses + rhs.decomposition_misses,
+        }
+    }
 }
 
 /// The caches one engine shares across runs (and across the workers of
@@ -207,6 +262,12 @@ impl SessionCaches {
             decomposition_hits: self.decomp.hits(),
             decomposition_misses: self.decomp.misses(),
         }
+    }
+
+    /// Zeroes every counter while keeping the cached entries warm.
+    pub fn reset_stats(&self) {
+        self.exp.reset_counters();
+        self.decomp.reset_counters();
     }
 }
 
@@ -340,6 +401,44 @@ mod tests {
             .iter()
             .all(|s| s.lock().unwrap().is_empty());
         assert!(empty, "bind to a new circuit flushes skeletons");
+    }
+
+    #[test]
+    fn stats_reset_keeps_entries_and_deltas_are_saturating() {
+        let caches = SessionCaches::new();
+        let c = gen::figure1();
+        caches.bind(&c);
+        let root = c.find("g1").expect("exists").index();
+        let labels: Vec<i64> = c
+            .node_ids()
+            .map(|id| 2 * i64::from(matches!(c.node(id).kind, NodeKind::Gate(_))))
+            .collect();
+        let gauge = Gauge::new(Budget::default());
+        for _ in 0..2 {
+            caches
+                .exp
+                .expansion(&c, root, 1, &labels, 2, ExpandLimits::default(), &gauge)
+                .expect("no budget")
+                .expect("expandable");
+        }
+        let before = caches.stats();
+        assert_eq!((before.expansion_hits, before.expansion_misses), (1, 1));
+        caches.reset_stats();
+        assert_eq!(caches.stats(), CacheStats::default(), "counters zeroed");
+        caches
+            .exp
+            .expansion(&c, root, 1, &labels, 2, ExpandLimits::default(), &gauge)
+            .expect("no budget")
+            .expect("expandable");
+        let after = caches.stats();
+        assert_eq!(after.expansion_hits, 1, "entries stayed warm across reset");
+        // A saturating delta across the reset reports the fresh totals.
+        assert_eq!(after.delta_since(before).expansion_hits, 0);
+        assert_eq!(after.delta_since(CacheStats::default()), after);
+        assert_eq!(after.hits(), 1);
+        assert_eq!(after.misses(), 0);
+        let sum = after + before;
+        assert_eq!(sum.expansion_misses, 1);
     }
 
     #[test]

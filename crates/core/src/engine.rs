@@ -34,8 +34,21 @@ impl Engine {
     }
 
     /// Cache counters accumulated over every run of this engine.
+    ///
+    /// Totals are monotonic (until [`Engine::reset_cache_stats`]); to
+    /// attribute work to one request, snapshot before and after the run
+    /// and take [`CacheStats::delta_since`] — exact whenever the engine
+    /// runs requests serially (one engine per worker thread, the
+    /// `turbosyn-serve` pool discipline).
     pub fn cache_stats(&self) -> CacheStats {
         self.caches.stats()
+    }
+
+    /// Zeroes the cache counters while keeping every cached skeleton and
+    /// decomposition outcome warm. Later runs still hit the warm state;
+    /// only the accounting restarts.
+    pub fn reset_cache_stats(&self) {
+        self.caches.reset_stats();
     }
 
     /// [`crate::turbomap`] sharing this engine's caches.

@@ -65,6 +65,7 @@ pub mod label;
 pub mod mapgen;
 pub mod mappers;
 pub mod pld;
+pub mod report_json;
 pub mod seqdecomp;
 pub mod verify;
 
@@ -78,4 +79,5 @@ pub use label::{
 };
 pub use mapgen::generate_mapping;
 pub use mappers::{flowsyn_s, map_combinational, turbomap, turbosyn, MapOptions, MapReport};
+pub use report_json::{cache_stats_to_json, degradation_to_json, report_to_json};
 pub use verify::{verify_mapping, VerifyError};

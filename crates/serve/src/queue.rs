@@ -1,0 +1,201 @@
+//! Admission control: a bounded depth gate with backpressure.
+//!
+//! The service does not queue unboundedly — a request is *admitted*
+//! (occupying one slot from the moment it passes the gate until its
+//! response has been written) or *rejected immediately* with a
+//! machine-readable `busy` error carrying a `retry_after_ms` hint.
+//! Bounding admitted work bounds memory (each admitted request holds a
+//! parsed circuit) and keeps latency honest: a client learns in
+//! microseconds that the service is saturated instead of waiting behind
+//! an invisible queue.
+//!
+//! The gate also owns the drain flag: once draining, every new map
+//! request is rejected (`draining` code, no retry hint — the process is
+//! exiting) while already-admitted work runs to completion.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Why a request was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reject {
+    /// The depth cap is reached; retry after the hinted backoff.
+    Busy {
+        /// Suggested client backoff, scaled by the current depth.
+        retry_after_ms: u64,
+    },
+    /// The service is draining and accepts no new work.
+    Draining,
+}
+
+/// The admission gate. Cheap to share (`Arc`); every counter is atomic.
+#[derive(Debug)]
+pub struct Admission {
+    /// Admitted requests currently alive (queued + running + writing
+    /// their response).
+    depth: AtomicUsize,
+    /// Maximum simultaneously admitted requests.
+    cap: usize,
+    /// Set once by [`Admission::begin_drain`]; never cleared.
+    draining: AtomicBool,
+    /// Lifetime count of rejected admissions (both causes).
+    rejected: AtomicU64,
+}
+
+impl Admission {
+    /// A gate admitting at most `cap` concurrent requests.
+    #[must_use]
+    pub fn new(cap: usize) -> Arc<Admission> {
+        Arc::new(Admission {
+            depth: AtomicUsize::new(0),
+            cap: cap.max(1),
+            draining: AtomicBool::new(false),
+            rejected: AtomicU64::new(0),
+        })
+    }
+
+    /// Tries to occupy one slot. The returned [`Ticket`] frees the slot
+    /// on drop; hold it until the response is flushed so the drain
+    /// barrier covers response writing too.
+    ///
+    /// # Errors
+    ///
+    /// [`Reject::Draining`] once [`Admission::begin_drain`] ran, else
+    /// [`Reject::Busy`] when `cap` requests are already admitted.
+    pub fn try_admit(self: &Arc<Self>) -> Result<Ticket, Reject> {
+        if self.is_draining() {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(Reject::Draining);
+        }
+        // Optimistically occupy, then roll back on overflow: two racing
+        // admits can both see depth == cap - 1, but the fetch_add total
+        // is exact, so at most `cap` tickets ever coexist.
+        let prior = self.depth.fetch_add(1, Ordering::SeqCst);
+        if prior >= self.cap {
+            self.depth.fetch_sub(1, Ordering::SeqCst);
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(Reject::Busy {
+                retry_after_ms: retry_hint(prior),
+            });
+        }
+        Ok(Ticket {
+            adm: Arc::clone(self),
+        })
+    }
+
+    /// Admitted requests currently alive.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth.load(Ordering::SeqCst)
+    }
+
+    /// The configured cap.
+    #[must_use]
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Lifetime rejected-admission count.
+    #[must_use]
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Refuses all future admissions. Idempotent.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a drain has begun.
+    #[must_use]
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Whether the drain has completed: draining and no request alive.
+    #[must_use]
+    pub fn drained(&self) -> bool {
+        self.is_draining() && self.depth() == 0
+    }
+}
+
+/// Backoff hint: deeper saturation, longer suggested retry.
+fn retry_hint(depth: usize) -> u64 {
+    (25 * (depth as u64 + 1)).min(1000)
+}
+
+/// One occupied admission slot; freed on drop.
+#[derive(Debug)]
+pub struct Ticket {
+    adm: Arc<Admission>,
+}
+
+impl Drop for Ticket {
+    fn drop(&mut self) {
+        self.adm.depth.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cap_is_enforced_and_slots_free_on_drop() {
+        let adm = Admission::new(2);
+        let t1 = adm.try_admit().expect("slot 1");
+        let _t2 = adm.try_admit().expect("slot 2");
+        match adm.try_admit() {
+            Err(Reject::Busy { retry_after_ms }) => assert!(retry_after_ms > 0),
+            other => panic!("expected Busy, got {other:?}"),
+        }
+        assert_eq!(adm.depth(), 2);
+        assert_eq!(adm.rejected(), 1);
+        drop(t1);
+        assert_eq!(adm.depth(), 1);
+        adm.try_admit().expect("freed slot is reusable");
+    }
+
+    #[test]
+    fn draining_rejects_everything_and_drained_waits_for_depth() {
+        let adm = Admission::new(4);
+        let ticket = adm.try_admit().expect("admitted");
+        adm.begin_drain();
+        assert_eq!(adm.try_admit().err(), Some(Reject::Draining));
+        assert!(adm.is_draining());
+        assert!(!adm.drained(), "in-flight ticket blocks drain completion");
+        drop(ticket);
+        assert!(adm.drained());
+    }
+
+    #[test]
+    fn concurrent_admission_never_exceeds_cap() {
+        let adm = Admission::new(8);
+        let peak = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..16 {
+                let adm = &adm;
+                let peak = &peak;
+                scope.spawn(move || {
+                    for _ in 0..500 {
+                        if let Ok(_t) = adm.try_admit() {
+                            peak.fetch_max(adm.depth(), Ordering::SeqCst);
+                        }
+                    }
+                });
+            }
+        });
+        assert!(
+            peak.load(Ordering::SeqCst) <= 8,
+            "cap held under contention"
+        );
+        assert_eq!(adm.depth(), 0, "every ticket was returned");
+    }
+
+    #[test]
+    fn zero_cap_is_clamped_to_one() {
+        let adm = Admission::new(0);
+        let _t = adm.try_admit().expect("one slot exists");
+        assert!(adm.try_admit().is_err());
+    }
+}

@@ -13,6 +13,17 @@
 //! (machine-normalized through `calib_ns`). The `jobs/*` entries are
 //! informational — they document thread scaling, which depends on the
 //! runner's core count, so the gate does not threshold them.
+//!
+//! The `probe_ladder/*` section runs the full φ binary search on the
+//! two largest generated circuits — cold, then resubmitted to the same
+//! engine (the serve daemon's workload) — once with the delta-driven
+//! worklist, warm-started probes, and exact-φ lineage replay (the
+//! default), and once with all of it disabled (`full_sweeps` legacy
+//! mode). It records the two runs' summed `sweeps` / `cut_tests`
+//! counters alongside the timing; the gate thresholds those counters at
+//! 5% raw, which is the regression tripwire for the incremental
+//! machinery itself. All four runs must produce bit-identical reports —
+//! asserted here on every run.
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -36,10 +47,8 @@ impl Recorder {
         times.sort();
         let median = times[times.len() / 2];
         println!("{name:<40} {median:>12.3?} /iter  ({iters} iters)");
-        self.results.push(BenchResult {
-            name: name.to_string(),
-            median_ns: median.as_nanos(),
-        });
+        self.results
+            .push(BenchResult::timing(name, median.as_nanos()));
     }
 
     /// One timed run, no warmup — for benches whose single iteration
@@ -49,10 +58,16 @@ impl Recorder {
         f();
         let elapsed = t.elapsed();
         println!("{name:<40} {elapsed:>12.3?} /iter  (1 cold iter)");
-        self.results.push(BenchResult {
-            name: name.to_string(),
-            median_ns: elapsed.as_nanos(),
-        });
+        self.results
+            .push(BenchResult::timing(name, elapsed.as_nanos()));
+    }
+
+    /// Attaches deterministic work counters to the most recent bench.
+    fn attach_counters(&mut self, counters: Vec<(String, u64)>) {
+        self.results
+            .last_mut()
+            .expect("a bench was recorded")
+            .counters = counters;
     }
 }
 
@@ -125,6 +140,70 @@ fn main() {
         j1 as f64 / 1e9,
         j8 as f64 / 1e9,
     );
+
+    // Probe-ladder section: the full binary search followed by a
+    // resubmission of the same circuit to the same engine — the serve
+    // daemon's steady-state workload — with the delta-driven machinery
+    // on (default) vs off (`full_sweeps` legacy). Counters are
+    // deterministic, so they are recorded for the 5% counter gate; all
+    // four reports must be bit-identical (that is the whole contract of
+    // the worklist/warm-start/lineage rewrite).
+    let mut ranked: Vec<_> = suite.iter().collect();
+    ranked.sort_by_key(|b| std::cmp::Reverse(b.circuit.node_count()));
+    for b in ranked.iter().take(2) {
+        let mut pair: Vec<(MapReport, MapReport)> = Vec::new();
+        for (variant, full_sweeps) in [("delta", false), ("full", true)] {
+            let opts = MapOptions {
+                full_sweeps,
+                warm_start: !full_sweeps,
+                ..MapOptions::default()
+            };
+            let engine = turbosyn::Engine::new();
+            rec.bench_cold(&format!("probe_ladder/{}/{variant}", b.name), || {
+                let cold = engine.turbosyn(black_box(&b.circuit), &opts).expect("maps");
+                let resub = engine.turbosyn(black_box(&b.circuit), &opts).expect("maps");
+                pair.push((cold, resub));
+            });
+            let (cold, resub) = pair.last().expect("just ran");
+            let stats = cold.stats + resub.stats;
+            rec.attach_counters(vec![
+                ("sweeps".into(), stats.sweeps),
+                ("cut_tests".into(), stats.cut_tests),
+                ("candidates_skipped".into(), stats.candidates_skipped),
+                ("warm_started_probes".into(), stats.warm_started_probes),
+                ("pld_checks_skipped".into(), stats.pld_checks_skipped),
+            ]);
+            println!(
+                "probe ladder {}/{variant}: cold cut_tests {} + resubmitted {}",
+                b.name, cold.stats.cut_tests, resub.stats.cut_tests,
+            );
+        }
+        let (delta, full) = (&pair[0], &pair[1]);
+        for (report, what) in [
+            (&delta.1, "delta resubmission"),
+            (&full.0, "full-sweep search"),
+            (&full.1, "full-sweep resubmission"),
+        ] {
+            assert_eq!(
+                fingerprint(&delta.0),
+                fingerprint(report),
+                "{what} must agree bit-for-bit with the delta search on {}",
+                b.name
+            );
+        }
+        let (delta, full) = (delta.0.stats + delta.1.stats, full.0.stats + full.1.stats);
+        let pct = |now: u64, was: u64| 100.0 * (1.0 - now as f64 / was.max(1) as f64);
+        println!(
+            "probe ladder on {}: cut_tests {} -> {} (-{:.1}%), sweeps {} -> {} (-{:.1}%)",
+            b.name,
+            full.cut_tests,
+            delta.cut_tests,
+            pct(delta.cut_tests, full.cut_tests),
+            full.sweeps,
+            delta.sweeps,
+            pct(delta.sweeps, full.sweeps),
+        );
+    }
 
     let file = BenchFile {
         calib_ns: turbosyn_bench::calibrate_ns(),

@@ -13,18 +13,35 @@
 //!
 //! Entries outside `mappers/*` (the `jobs/*` thread-scaling runs, whose
 //! timing depends on the runner's core count) are reported but never
-//! gated. A `mappers/*` bench that exists in the baseline but not in
-//! the current file fails the gate — a silently vanished benchmark is
-//! indistinguishable from an unmeasured regression.
+//! time-gated. A `mappers/*` bench that exists in the baseline but not
+//! in the current file fails the gate — a silently vanished benchmark
+//! is indistinguishable from an unmeasured regression.
 //!
-//! Exit codes: `0` pass, `1` regression (or vanished bench), `2` usage
-//! or unreadable/malformed input.
+//! **Counter gate.** Any baseline entry carrying work counters (the
+//! `probe_ladder/*` scenarios) is additionally gated on `cut_tests` and
+//! `sweeps`: the current run fails if either counter grew more than 5%
+//! over the baseline. Counters are machine-independent — the same
+//! binary does the same number of cut tests anywhere — so they are
+//! compared raw (never calib-normalized) and the threshold is much
+//! tighter than the timing one. This is what catches a regression that
+//! quietly disables the worklist or warm-start machinery: wall-clock on
+//! a fast runner might still pass, the work counts cannot.
+//!
+//! Exit codes: `0` pass, `1` regression (or vanished bench/counter),
+//! `2` usage or unreadable/malformed input.
 
 use std::process::ExitCode;
 use turbosyn_bench::json::BenchFile;
 
 const DEFAULT_THRESHOLD_PCT: f64 = 25.0;
 const GATED_PREFIX: &str = "mappers/";
+/// Work counters gated when the baseline entry records them.
+const GATED_COUNTERS: [&str; 2] = ["cut_tests", "sweeps"];
+/// Allowed counter growth, in percent. Counters are deterministic per
+/// binary, but legitimate code changes (a new expansion heuristic, say)
+/// shift them slightly; 5% passes noise-free refactors while catching
+/// a disabled worklist (which multiplies `cut_tests`).
+const COUNTER_THRESHOLD_PCT: f64 = 5.0;
 
 fn usage() -> &'static str {
     "usage: bench_gate <baseline.json> <current.json> [--threshold-pct N]"
@@ -112,10 +129,52 @@ fn run(args: &Args) -> Result<bool, String> {
     }
     for cur in &current.results {
         if !cur.name.starts_with(GATED_PREFIX) {
-            println!("info {:<40} {} ns (not gated)", cur.name, cur.median_ns);
+            println!(
+                "info {:<40} {} ns (not time-gated)",
+                cur.name, cur.median_ns
+            );
         }
     }
+    if !gate_counters(&baseline, &current) {
+        ok = false;
+    }
     Ok(ok)
+}
+
+/// Gates the work counters of every baseline entry that records them.
+/// Raw comparison (no calib normalization): the counts are
+/// machine-independent. Returns `false` on any failure.
+fn gate_counters(baseline: &BenchFile, current: &BenchFile) -> bool {
+    let limit = 1.0 + COUNTER_THRESHOLD_PCT / 100.0;
+    let mut ok = true;
+    for base in &baseline.results {
+        for name in GATED_COUNTERS {
+            let Some(base_count) = base.counter(name) else {
+                continue;
+            };
+            let label = format!("{}#{name}", base.name);
+            let cur_count = current
+                .results
+                .iter()
+                .find(|r| r.name == base.name)
+                .and_then(|r| r.counter(name));
+            let Some(cur_count) = cur_count else {
+                println!("FAIL {label:<40} counter missing from current run");
+                ok = false;
+                continue;
+            };
+            let grew_past = cur_count as f64 > base_count as f64 * limit;
+            let verdict = if grew_past { "FAIL" } else { "ok  " };
+            println!(
+                "{verdict} {label:<40} {base_count} -> {cur_count} \
+                 (counter, +{COUNTER_THRESHOLD_PCT:.0}% gate)"
+            );
+            if grew_past {
+                ok = false;
+            }
+        }
+    }
+    ok
 }
 
 fn main() -> ExitCode {
@@ -182,6 +241,16 @@ mod tests {
         calib: u128,
         entries: &[(&str, u128)],
     ) -> String {
+        write_file_counters(dir, name, calib, entries, &[])
+    }
+
+    fn write_file_counters(
+        dir: &std::path::Path,
+        name: &str,
+        calib: u128,
+        entries: &[(&str, u128)],
+        counters: &[(&str, &str, u64)],
+    ) -> String {
         use turbosyn_bench::json::{BenchFile, BenchResult};
         let f = BenchFile {
             calib_ns: calib,
@@ -190,6 +259,11 @@ mod tests {
                 .map(|(n, ns)| BenchResult {
                     name: (*n).into(),
                     median_ns: *ns,
+                    counters: counters
+                        .iter()
+                        .filter(|(entry, _, _)| entry == n)
+                        .map(|&(_, cname, cval)| (cname.into(), cval))
+                        .collect(),
                 })
                 .collect(),
         };
@@ -226,6 +300,66 @@ mod tests {
         assert!(!gate(&slow));
         assert!(gate(&slow_machine));
         assert!(!gate(&gone));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn counter_gate_bounds_growth_raw() {
+        let dir = std::env::temp_dir().join(format!("bench_gate_ctr_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let entry = "probe_ladder/s5378/delta";
+        let base = write_file_counters(
+            &dir,
+            "base.json",
+            100,
+            &[(entry, 1000)],
+            &[(entry, "cut_tests", 1000), (entry, "sweeps", 40)],
+        );
+        // 4% more cut tests: inside the 5% counter gate. The entry is
+        // outside mappers/*, so its (huge) timing swing is not gated.
+        let ok = write_file_counters(
+            &dir,
+            "ok.json",
+            100,
+            &[(entry, 9000)],
+            &[(entry, "cut_tests", 1040), (entry, "sweeps", 40)],
+        );
+        // 10% more cut tests: the worklist regressed. A 2x slower
+        // machine (calib 200) must not excuse it — counters are raw.
+        let slow = write_file_counters(
+            &dir,
+            "slow.json",
+            200,
+            &[(entry, 1000)],
+            &[(entry, "cut_tests", 1100), (entry, "sweeps", 40)],
+        );
+        // Counters vanished from the current run entirely.
+        let gone = write_file(&dir, "gone.json", 100, &[(entry, 1000)]);
+        // Extra non-gated counters in the current run are fine.
+        let extra = write_file_counters(
+            &dir,
+            "extra.json",
+            100,
+            &[(entry, 1000)],
+            &[
+                (entry, "cut_tests", 900),
+                (entry, "sweeps", 40),
+                (entry, "resyn_attempts", 999_999),
+            ],
+        );
+
+        let gate = |cur: &str| {
+            run(&Args {
+                baseline: base.clone(),
+                current: cur.into(),
+                threshold_pct: DEFAULT_THRESHOLD_PCT,
+            })
+            .expect("runs")
+        };
+        assert!(gate(&ok));
+        assert!(!gate(&slow));
+        assert!(!gate(&gone));
+        assert!(gate(&extra));
         std::fs::remove_dir_all(&dir).ok();
     }
 

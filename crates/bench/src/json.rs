@@ -11,7 +11,9 @@
 //!   "schema": 1,
 //!   "calib_ns": 104857600,
 //!   "results": [
-//!     { "name": "mappers/turbosyn/bbara", "median_ns": 1234567 }
+//!     { "name": "mappers/turbosyn/bbara", "median_ns": 1234567 },
+//!     { "name": "probe_ladder/s5378/delta", "median_ns": 7654321,
+//!       "counters": { "cut_tests": 1200, "sweeps": 34 } }
 //!   ]
 //! }
 //! ```
@@ -32,6 +34,33 @@ pub struct BenchResult {
     pub name: String,
     /// Median wall-clock of one iteration, in nanoseconds.
     pub median_ns: u128,
+    /// Machine-independent work counters (e.g. `cut_tests`, `sweeps`),
+    /// in emission order. Unlike timings these are never
+    /// calib-normalized — the same binary on any machine produces the
+    /// same counts, which is what lets the gate bound them tightly.
+    /// Empty for timing-only benches (and omitted from the JSON).
+    pub counters: Vec<(String, u64)>,
+}
+
+impl BenchResult {
+    /// A timing-only result (no counters).
+    #[must_use]
+    pub fn timing(name: impl Into<String>, median_ns: u128) -> BenchResult {
+        BenchResult {
+            name: name.into(),
+            median_ns,
+            counters: Vec::new(),
+        }
+    }
+
+    /// The value of one counter, if recorded.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
 }
 
 /// A full timing file: calibration constant plus per-bench medians.
@@ -72,12 +101,21 @@ impl BenchFile {
         out.push_str("  \"results\": [\n");
         for (i, r) in self.results.iter().enumerate() {
             let comma = if i + 1 == self.results.len() { "" } else { "," };
-            let _ = writeln!(
+            let _ = write!(
                 out,
-                "    {{ \"name\": {}, \"median_ns\": {} }}{comma}",
+                "    {{ \"name\": {}, \"median_ns\": {}",
                 quote(&r.name),
                 r.median_ns
             );
+            if !r.counters.is_empty() {
+                out.push_str(", \"counters\": { ");
+                for (j, (cname, cval)) in r.counters.iter().enumerate() {
+                    let ccomma = if j + 1 == r.counters.len() { "" } else { ", " };
+                    let _ = write!(out, "{}: {cval}{ccomma}", quote(cname));
+                }
+                out.push_str(" }");
+            }
+            let _ = writeln!(out, " }}{comma}");
         }
         out.push_str("  ]\n}\n");
         out
@@ -134,6 +172,7 @@ fn result_entry(entry: &Json) -> Result<BenchResult, String> {
     let pairs = entry.as_obj().ok_or("each result must be an object")?;
     let mut name = None;
     let mut median_ns = None;
+    let mut counters = Vec::new();
     for (key, value) in pairs {
         match key.as_str() {
             "name" => {
@@ -145,12 +184,22 @@ fn result_entry(entry: &Json) -> Result<BenchResult, String> {
                 );
             }
             "median_ns" => median_ns = Some(non_negative(value, "median_ns")?),
+            "counters" => {
+                let obj = value.as_obj().ok_or("\"counters\" must be an object")?;
+                for (cname, cval) in obj {
+                    let v = non_negative(cval, cname)?;
+                    let v = u64::try_from(v)
+                        .map_err(|_| format!("counter {cname:?} exceeds u64 range"))?;
+                    counters.push((cname.clone(), v));
+                }
+            }
             other => return Err(format!("unknown result key {other:?}")),
         }
     }
     Ok(BenchResult {
         name: name.ok_or("result missing \"name\"")?,
         median_ns: median_ns.ok_or("result missing \"median_ns\"")?,
+        counters,
     })
 }
 
@@ -162,13 +211,12 @@ mod tests {
         BenchFile {
             calib_ns: 100_000_000,
             results: vec![
+                BenchResult::timing("mappers/turbosyn/bbara", 1_234_567),
+                BenchResult::timing("jobs/turbosyn/s5378/j8", 9_876_543_210),
                 BenchResult {
-                    name: "mappers/turbosyn/bbara".into(),
-                    median_ns: 1_234_567,
-                },
-                BenchResult {
-                    name: "jobs/turbosyn/s5378/j8".into(),
-                    median_ns: 9_876_543_210,
+                    name: "probe_ladder/s5378/delta".into(),
+                    median_ns: 7_654_321,
+                    counters: vec![("cut_tests".into(), 1200), ("sweeps".into(), 34)],
                 },
             ],
         }
@@ -177,8 +225,15 @@ mod tests {
     #[test]
     fn round_trip() {
         let f = sample();
-        let parsed = BenchFile::parse(&f.to_json()).expect("parses own output");
+        let text = f.to_json();
+        let parsed = BenchFile::parse(&text).expect("parses own output");
         assert_eq!(parsed, f);
+        // Counter-free entries keep the pre-counters layout verbatim.
+        assert!(text.contains("{ \"name\": \"mappers/turbosyn/bbara\", \"median_ns\": 1234567 }"));
+        assert!(text.contains("\"counters\": { \"cut_tests\": 1200, \"sweeps\": 34 }"));
+        assert_eq!(parsed.results[2].counter("cut_tests"), Some(1200));
+        assert_eq!(parsed.results[2].counter("nope"), None);
+        assert_eq!(parsed.results[0].counter("cut_tests"), None);
     }
 
     #[test]
@@ -220,6 +275,22 @@ mod tests {
             )
             .is_err(),
             "unknown result key"
+        );
+        assert!(
+            BenchFile::parse(
+                "{\"calib_ns\": 1, \"results\": [{\"name\": \"a\", \"median_ns\": 1, \
+                 \"counters\": [1]}]}"
+            )
+            .is_err(),
+            "counters must be an object"
+        );
+        assert!(
+            BenchFile::parse(
+                "{\"calib_ns\": 1, \"results\": [{\"name\": \"a\", \"median_ns\": 1, \
+                 \"counters\": {\"c\": -2}}]}"
+            )
+            .is_err(),
+            "counters must be non-negative"
         );
     }
 

@@ -318,6 +318,13 @@ fn main() -> ExitCode {
             "label work: {} sweeps, {} cut tests, {} resynthesis successes",
             report.stats.sweeps, report.stats.cut_tests, report.stats.resyn_successes
         );
+        eprintln!(
+            "label work saved: {} candidates skipped, {} warm-started probes, \
+             {} PLD checks skipped",
+            report.stats.candidates_skipped,
+            report.stats.warm_started_probes,
+            report.stats.pld_checks_skipped
+        );
     }
     let degraded = report.degradation.is_some();
     if let Some(d) = &report.degradation {

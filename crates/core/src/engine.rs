@@ -8,8 +8,10 @@
 //! caching only changes wall-clock (see [`crate::cache`] internals for
 //! the argument).
 
+use crate::budget::{Budget, Gauge};
 use crate::cache::{CacheStats, SessionCaches};
 use crate::error::SynthesisError;
+use crate::label::{self, LabelOptions, LabelOutcome, LabelStats};
 use crate::mappers::{self, MapOptions, MapReport};
 use turbosyn_netlist::Circuit;
 
@@ -44,11 +46,33 @@ impl Engine {
         self.caches.stats()
     }
 
-    /// Zeroes the cache counters while keeping every cached skeleton and
-    /// decomposition outcome warm. Later runs still hit the warm state;
-    /// only the accounting restarts.
+    /// Zeroes the cache and label-work counters while keeping every
+    /// cached skeleton, decomposition outcome, and warm-start lineage
+    /// warm. Later runs still hit the warm state; only the accounting
+    /// restarts.
     pub fn reset_cache_stats(&self) {
         self.caches.reset_stats();
+    }
+
+    /// Label-computation work counters accumulated over every probe this
+    /// engine ran (same snapshot/delta discipline as
+    /// [`Engine::cache_stats`]; use [`LabelStats::delta_since`] for
+    /// per-request attribution).
+    pub fn label_stats(&self) -> LabelStats {
+        self.caches.label_totals()
+    }
+
+    /// [`label::compute_labels`](crate::label::compute_labels) sharing
+    /// this engine's caches — in particular the probe-lineage slot, so
+    /// consecutive probes at descending φ warm-start from each other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is invalid or not K-bounded for `opts.k`.
+    pub fn compute_labels(&self, c: &Circuit, opts: &LabelOptions) -> LabelOutcome {
+        let gauge = Gauge::new(Budget::default());
+        label::compute_labels_with(c, opts, &gauge, &self.caches)
+            .expect("an unlimited budget never interrupts")
     }
 
     /// [`crate::turbomap`] sharing this engine's caches.

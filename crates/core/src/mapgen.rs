@@ -69,7 +69,9 @@ pub(crate) fn realize(
         // Sharing the session caches only shortcuts the replay: cached
         // decomposition verdicts are pure functions of their signatures.
         let replay = crate::budget::Gauge::new(crate::budget::Budget::default());
-        if let Ok(Some(r)) = resyn_realization(c, v, h, labels, opts, &replay, caches, scratch) {
+        if let Ok(Some(r)) =
+            resyn_realization(c, v, h, labels, opts, &replay, caches, scratch, None)
+        {
             return Ok(r);
         }
     }

@@ -60,6 +60,15 @@ pub struct MapOptions {
     /// CLI). `1` runs serially; any value yields bit-identical reports
     /// (see [`crate::label::compute_labels_governed`]).
     pub jobs: usize,
+    /// Disable the delta-driven label worklist and re-evaluate every
+    /// pending node each sweep (the pre-worklist engine, kept for A/B
+    /// comparison — see [`crate::label::LabelOptions::full_sweeps`]).
+    /// Reports are bit-identical either way.
+    pub full_sweeps: bool,
+    /// Warm-start later φ probes from the converged labels of earlier
+    /// feasible ones (see [`crate::label::LabelOptions::warm_start`]).
+    /// Reports are bit-identical either way.
+    pub warm_start: bool,
     /// Resource budget for the whole run: wall clock, expansion work,
     /// per-decomposition BDD nodes, labeling sweeps, and a cancel token.
     /// Defaults to unlimited. On exhaustion the mappers degrade to the
@@ -82,6 +91,8 @@ impl Default for MapOptions {
             minimize_registers: false,
             verify_cycles: 48,
             jobs: 1,
+            full_sweeps: false,
+            warm_start: true,
             budget: Budget::default(),
         }
     }
@@ -108,6 +119,8 @@ impl MapOptions {
             relax: self.relax,
             max_bdd_nodes: self.budget.max_bdd_nodes,
             jobs: self.jobs,
+            full_sweeps: self.full_sweeps,
+            warm_start: self.warm_start,
         }
     }
 
@@ -170,6 +183,13 @@ pub struct MapReport {
 
 /// Shared driver: binary search the minimum feasible integer φ, map at
 /// it, clean up, verify, retime — all under the caller's [`Gauge`].
+///
+/// Each feasible probe leaves its converged labels in the session's
+/// probe-lineage slot; because the search only moves to *smaller* φ
+/// after a feasible probe, every later probe can warm-start from them
+/// (labels are anti-monotone in φ), collapsing most of its sweeps. The
+/// lineage is keyed by the label configuration — the TurboSYN prepass
+/// (resynthesis off) can never leak labels into the resynthesis search.
 ///
 /// Degradation protocol: a budget interruption mid-search keeps the best
 /// already-proven-feasible φ and reports what was abandoned; with no
@@ -324,12 +344,7 @@ fn finalize_registers(circuit: Circuit, period: i64, opts: &MapOptions) -> Circu
 }
 
 fn add_stats(a: LabelStats, b: LabelStats) -> LabelStats {
-    LabelStats {
-        sweeps: a.sweeps + b.sweeps,
-        cut_tests: a.cut_tests + b.cut_tests,
-        resyn_attempts: a.resyn_attempts + b.resyn_attempts,
-        resyn_successes: a.resyn_successes + b.resyn_successes,
-    }
+    a + b
 }
 
 /// K-bounds the input if needed (the paper assumes this preprocessing).

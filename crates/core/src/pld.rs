@@ -14,7 +14,7 @@
 //! [`scc_isolated`] performs the check: are **all** nodes of the SCC
 //! unreachable from the anchors in `G_π`?
 
-use turbosyn_graph::reach::reachable_from;
+use turbosyn_graph::reach::{reachable_from, reaches_any, ReachScratch};
 use turbosyn_graph::Digraph;
 
 /// True when every node of `members` is isolated from the anchors
@@ -40,6 +40,102 @@ pub fn scc_isolated(
         labels[e.to] > 1 && labels[e.from] - phi * e.weight + 1 >= labels[e.to]
     });
     members.iter().all(|&v| !reached[v])
+}
+
+/// Buffered, per-SCC isolation tester: same verdicts as
+/// [`scc_isolated`], without the per-sweep anchor rebuild or BFS
+/// allocations.
+///
+/// The allocating function rescans the whole graph for anchors on every
+/// call, but while one SCC is being swept only *its members'* labels can
+/// change — every other node's anchor status is frozen. A `PldProbe`
+/// therefore snapshots the non-member anchors once per SCC and, on each
+/// check, only re-derives the member side:
+///
+/// * **fast grounded pre-check** — a member at the label floor is itself
+///   an anchor *and* a member, so the SCC is trivially not isolated; no
+///   reachability query is needed at all (the caller counts these as
+///   `pld_checks_skipped`);
+/// * otherwise an early-exit multi-source BFS ([`reaches_any`]) over the
+///   predecessor graph, which stops at the first member reached instead
+///   of materializing the full reachable set.
+#[derive(Debug)]
+pub struct PldProbe {
+    /// Anchors outside the SCC (PIs plus floor-labelled non-members),
+    /// frozen for the SCC's whole sweep loop.
+    anchors_outside: Vec<usize>,
+    /// `true` for SCC members, indexed by node.
+    in_scc: Vec<bool>,
+    /// Some member is a pinned anchor (never true for the label engine's
+    /// gate-only SCCs, but kept for exact [`scc_isolated`] parity).
+    member_anchored: bool,
+    scratch: ReachScratch,
+}
+
+/// Verdict of one [`PldProbe::isolated`] check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PldVerdict {
+    /// Some member is reachable from an anchor: no positive loop yet.
+    /// `fast` is true when the grounded pre-check decided without a
+    /// reachability query.
+    Grounded {
+        /// Whether the BFS was skipped entirely.
+        fast: bool,
+    },
+    /// Every member is isolated from the anchors: positive loop.
+    Isolated,
+}
+
+impl PldProbe {
+    /// Snapshots the non-member anchor set for one SCC. `labels` are the
+    /// current labels; non-member labels must stay fixed for the
+    /// probe's lifetime (they do: SCCs are processed one at a time, in
+    /// condensation topological order).
+    #[must_use]
+    pub fn new(g: &Digraph, labels: &[i64], is_anchor: &[bool], members: &[usize]) -> Self {
+        let mut in_scc = vec![false; g.node_count()];
+        for &m in members {
+            in_scc[m] = true;
+        }
+        let anchors_outside = (0..g.node_count())
+            .filter(|&v| !in_scc[v] && (is_anchor[v] || labels[v] <= 1))
+            .collect();
+        PldProbe {
+            anchors_outside,
+            in_scc,
+            member_anchored: members.iter().any(|&m| is_anchor[m]),
+            scratch: ReachScratch::new(),
+        }
+    }
+
+    /// Same question as [`scc_isolated`] for this probe's SCC, under the
+    /// current `labels`.
+    pub fn isolated(
+        &mut self,
+        g: &Digraph,
+        labels: &[i64],
+        phi: i64,
+        members: &[usize],
+    ) -> PldVerdict {
+        // A member at the floor (or pinned) is an anchor inside the SCC:
+        // grounded, no BFS needed.
+        if self.member_anchored || members.iter().any(|&m| labels[m] <= 1) {
+            return PldVerdict::Grounded { fast: true };
+        }
+        let in_scc = &self.in_scc;
+        let reached = reaches_any(
+            g,
+            self.anchors_outside.iter().copied(),
+            |e| labels[e.to] > 1 && labels[e.from] - phi * e.weight + 1 >= labels[e.to],
+            |v| in_scc[v],
+            &mut self.scratch,
+        );
+        if reached {
+            PldVerdict::Grounded { fast: false }
+        } else {
+            PldVerdict::Isolated
+        }
+    }
 }
 
 #[cfg(test)]
@@ -83,5 +179,78 @@ mod tests {
         let labels = vec![1, 2];
         let anchors = vec![false, false];
         assert!(!scc_isolated(&g, &labels, 1, &anchors, &[0, 1]));
+    }
+
+    /// A PLD scenario: graph, labels, anchor flags, SCC members.
+    type Fixture = (Digraph, Vec<i64>, Vec<bool>, Vec<usize>);
+
+    /// The buffered probe must agree with the allocating reference on
+    /// every fixture above (and report the fast path where it applies).
+    #[test]
+    fn buffered_probe_matches_allocating_path() {
+        let fixtures: Vec<Fixture> = vec![
+            {
+                let mut g = Digraph::new(3);
+                g.add_edge(0, 1, 0);
+                g.add_edge(1, 2, 0);
+                g.add_edge(2, 1, 1);
+                (g, vec![0, 1, 2], vec![true, false, false], vec![1, 2])
+            },
+            {
+                let mut g = Digraph::new(3);
+                g.add_edge(0, 1, 0);
+                g.add_edge(1, 2, 0);
+                g.add_edge(2, 1, 1);
+                (g, vec![0, 5, 6], vec![true, false, false], vec![1, 2])
+            },
+            {
+                let mut g = Digraph::new(2);
+                g.add_edge(0, 1, 0);
+                g.add_edge(1, 0, 1);
+                (g, vec![1, 2], vec![false, false], vec![0, 1])
+            },
+        ];
+        for (i, (g, labels, anchors, members)) in fixtures.iter().enumerate() {
+            let reference = scc_isolated(g, labels, 1, anchors, members);
+            let mut probe = PldProbe::new(g, labels, anchors, members);
+            let verdict = probe.isolated(g, labels, 1, members);
+            assert_eq!(
+                verdict == PldVerdict::Isolated,
+                reference,
+                "fixture {i}: buffered vs allocating"
+            );
+        }
+        // Fixture 2 (floor member) must decide via the fast pre-check.
+        let (g, labels, anchors, members) = &fixtures[2];
+        let mut probe = PldProbe::new(g, labels, anchors, members);
+        assert_eq!(
+            probe.isolated(g, labels, 1, members),
+            PldVerdict::Grounded { fast: true }
+        );
+    }
+
+    /// One probe reused across a simulated sweep sequence (labels rising
+    /// inside the SCC) keeps matching the allocating path at every step.
+    #[test]
+    fn buffered_probe_tracks_rising_labels() {
+        let mut g = Digraph::new(3);
+        g.add_edge(0, 1, 0);
+        g.add_edge(1, 2, 0);
+        g.add_edge(2, 1, 1);
+        let anchors = vec![true, false, false];
+        let members = [1usize, 2];
+        let mut labels = vec![0i64, 1, 2];
+        let mut probe = PldProbe::new(&g, &labels, &anchors, &members);
+        for step in 0..6 {
+            let reference = scc_isolated(&g, &labels, 1, &anchors, &members);
+            let verdict = probe.isolated(&g, &labels, 1, &members);
+            assert_eq!(
+                verdict == PldVerdict::Isolated,
+                reference,
+                "step {step}, labels {labels:?}"
+            );
+            labels[1] += 1;
+            labels[2] += 1;
+        }
     }
 }

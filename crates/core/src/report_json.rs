@@ -19,7 +19,16 @@ use turbosyn_json::Json;
 use turbosyn_netlist::blif;
 
 /// Schema version stamped into every report object.
-pub const REPORT_SCHEMA: i64 = 1;
+///
+/// Schema 2 removed the `stats` work counters from the canonical
+/// report: with cross-run warm starts and the delta-driven worklist the
+/// amount of *work* depends on engine history (a warm engine sweeps
+/// less), while the canonical report must stay a pure function of the
+/// input — the serve daemon's warm responses are byte-compared against
+/// cold CLI output. Work counters are still observable through the
+/// non-canonical channels: [`label_stats_to_json`] feeds the CLI's
+/// `--stats`, the serve `result`/`stats` frames, and the bench JSON.
+pub const REPORT_SCHEMA: i64 = 2;
 
 /// Encodes a [`MapReport`] as the canonical deterministic JSON object.
 #[must_use]
@@ -31,7 +40,6 @@ pub fn report_to_json(report: &MapReport) -> Json {
         ("lut_count", Json::from(report.lut_count)),
         ("register_count", Json::from(report.register_count)),
         ("clock_period", Json::from(report.clock_period)),
-        ("stats", label_stats_to_json(&report.stats)),
         (
             "probes",
             Json::Arr(
@@ -55,6 +63,10 @@ pub fn report_to_json(report: &MapReport) -> Json {
 }
 
 /// Encodes the label-computation work counters.
+///
+/// Deliberately *not* part of [`report_to_json`]: work depends on the
+/// engine's cache/lineage history, so it travels in explicitly
+/// non-deterministic sections (alongside timing and cache deltas).
 #[must_use]
 pub fn label_stats_to_json(stats: &LabelStats) -> Json {
     Json::obj(vec![
@@ -62,6 +74,9 @@ pub fn label_stats_to_json(stats: &LabelStats) -> Json {
         ("cut_tests", Json::from(stats.cut_tests)),
         ("resyn_attempts", Json::from(stats.resyn_attempts)),
         ("resyn_successes", Json::from(stats.resyn_successes)),
+        ("candidates_skipped", Json::from(stats.candidates_skipped)),
+        ("warm_started_probes", Json::from(stats.warm_started_probes)),
+        ("pld_checks_skipped", Json::from(stats.pld_checks_skipped)),
     ])
 }
 
@@ -140,7 +155,11 @@ mod tests {
             "wall-clock must stay out of the canonical encoding"
         );
         let parsed = Json::parse(&ja).expect("round trips");
-        assert_eq!(parsed.get("schema").and_then(Json::as_int), Some(1));
+        assert_eq!(parsed.get("schema").and_then(Json::as_int), Some(2));
+        assert!(
+            parsed.get("stats").is_none(),
+            "work counters are history-dependent and stay out of the canonical encoding"
+        );
         assert_eq!(
             parsed.get("algorithm").and_then(Json::as_str),
             Some("TurboSYN")
@@ -193,6 +212,26 @@ mod tests {
             ]
         );
         assert_eq!(events[0].get("node").and_then(Json::as_int), Some(7));
+    }
+
+    #[test]
+    fn label_stats_encode_all_counters() {
+        let s = LabelStats {
+            sweeps: 1,
+            cut_tests: 2,
+            resyn_attempts: 3,
+            resyn_successes: 4,
+            candidates_skipped: 5,
+            warm_started_probes: 6,
+            pld_checks_skipped: 7,
+        };
+        let j = label_stats_to_json(&s);
+        assert_eq!(
+            j.write(),
+            "{\"sweeps\":1,\"cut_tests\":2,\"resyn_attempts\":3,\
+             \"resyn_successes\":4,\"candidates_skipped\":5,\
+             \"warm_started_probes\":6,\"pld_checks_skipped\":7}"
+        );
     }
 
     #[test]

@@ -41,6 +41,90 @@ pub fn reachable_set(g: &Digraph, sources: impl IntoIterator<Item = usize>) -> V
     reachable_from(g, sources, |_| true)
 }
 
+/// Reusable buffers for repeated reachability queries on graphs of the
+/// same (or shrinking) size.
+///
+/// [`reachable_from`] allocates a fresh visited vector and queue per
+/// call, which is fine for one-shot queries but dominates the cost of a
+/// hot loop that re-asks the same question after small state changes
+/// (the label engine's per-sweep positive-loop check). A `ReachScratch`
+/// keeps both buffers alive and invalidates the visited marks by epoch
+/// stamping — starting a new query is O(1), not O(n).
+#[derive(Debug, Default)]
+pub struct ReachScratch {
+    /// `mark[v] == epoch` means "visited in the current query".
+    mark: Vec<u32>,
+    /// Current query's epoch stamp.
+    epoch: u32,
+    /// BFS frontier, drained empty by the end of each query.
+    queue: std::collections::VecDeque<usize>,
+}
+
+impl ReachScratch {
+    /// A scratch with empty buffers (they grow on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        ReachScratch::default()
+    }
+
+    /// Begins a new query over `n` nodes: bumps the epoch (clearing all
+    /// marks in O(1)) and resizes the mark vector if the graph grew.
+    fn begin(&mut self, n: usize) {
+        if self.mark.len() < n {
+            self.mark.resize(n, 0);
+        }
+        if self.epoch == u32::MAX {
+            // Epoch wrap: physically clear the stale stamps once.
+            self.mark.iter_mut().for_each(|m| *m = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.queue.clear();
+    }
+
+    fn visit(&mut self, v: usize) -> bool {
+        if self.mark[v] == self.epoch {
+            return false;
+        }
+        self.mark[v] = self.epoch;
+        true
+    }
+}
+
+/// Early-exit variant of [`reachable_from`]: returns `true` as soon as
+/// any node satisfying `is_target` is reached from `sources` over edges
+/// kept by `keep` (sources themselves included), `false` after the full
+/// filtered BFS found no target. Buffers come from `scratch`, so a hot
+/// caller performs no per-query allocation.
+pub fn reaches_any(
+    g: &Digraph,
+    sources: impl IntoIterator<Item = usize>,
+    keep: impl Fn(crate::EdgeRef) -> bool,
+    is_target: impl Fn(usize) -> bool,
+    scratch: &mut ReachScratch,
+) -> bool {
+    scratch.begin(g.node_count());
+    for s in sources {
+        if scratch.visit(s) {
+            if is_target(s) {
+                return true;
+            }
+            scratch.queue.push_back(s);
+        }
+    }
+    while let Some(v) = scratch.queue.pop_front() {
+        for e in g.out_edges(v) {
+            if keep(e) && scratch.visit(e.to) {
+                if is_target(e.to) {
+                    return true;
+                }
+                scratch.queue.push_back(e.to);
+            }
+        }
+    }
+    false
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,5 +170,48 @@ mod tests {
         g.add_edge(1, 0, 0);
         let r = reachable_set(&g, [0]);
         assert_eq!(r, vec![true, true]);
+    }
+
+    #[test]
+    fn reaches_any_agrees_with_full_bfs_across_reuses() {
+        let mut g = Digraph::new(5);
+        g.add_edge(0, 1, 0);
+        g.add_edge(1, 2, 7);
+        g.add_edge(3, 4, 0);
+        let mut scratch = ReachScratch::new();
+        // Repeated queries on one scratch must match fresh full BFS runs.
+        for (sources, weight_cap, target) in [
+            (vec![0], 7, 2),    // reachable through the heavy edge
+            (vec![0], 0, 2),    // heavy edge filtered out
+            (vec![0], 7, 4),    // disconnected component
+            (vec![3], 0, 4),    // other component
+            (vec![2], 0, 2),    // source is the target
+            (Vec::new(), 7, 0), // no sources at all
+        ] {
+            let keep = |e: crate::EdgeRef| e.weight <= weight_cap;
+            let full = reachable_from(&g, sources.iter().copied(), keep);
+            assert_eq!(
+                reaches_any(
+                    &g,
+                    sources.iter().copied(),
+                    keep,
+                    |v| v == target,
+                    &mut scratch
+                ),
+                full[target],
+                "sources {sources:?} cap {weight_cap} target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn reach_scratch_survives_epoch_wrap() {
+        let mut g = Digraph::new(3);
+        g.add_edge(0, 1, 0);
+        let mut scratch = ReachScratch::new();
+        scratch.begin(3);
+        scratch.epoch = u32::MAX; // force the wrap path on the next query
+        assert!(reaches_any(&g, [0], |_| true, |v| v == 1, &mut scratch));
+        assert!(!reaches_any(&g, [0], |_| true, |v| v == 2, &mut scratch));
     }
 }

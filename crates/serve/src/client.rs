@@ -9,10 +9,13 @@ use std::io::{BufReader, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
-use turbosyn::CacheStats;
+use turbosyn::{CacheStats, LabelStats};
 use turbosyn_json::Json;
 
-use crate::proto::{cache_stats_from_json, read_frame, MapRequest, ProtoError, DEFAULT_MAX_LINE};
+use crate::proto::{
+    cache_stats_from_json, label_stats_from_json, read_frame, MapRequest, ProtoError,
+    DEFAULT_MAX_LINE,
+};
 
 /// Why a client call failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -83,6 +86,8 @@ pub struct MapResponse {
     pub worker: u64,
     /// Cache counter increments attributable to this request alone.
     pub cache: CacheStats,
+    /// Label-work counter increments attributable to this request alone.
+    pub work: LabelStats,
     /// Milliseconds spent admitted-but-queued.
     pub queue_ms: u64,
     /// Milliseconds spent inside the mapper.
@@ -205,6 +210,10 @@ impl Client {
             cache: reply
                 .get("cache")
                 .map(cache_stats_from_json)
+                .unwrap_or_default(),
+            work: reply
+                .get("work")
+                .map(label_stats_from_json)
                 .unwrap_or_default(),
             queue_ms: timing_ms("queue_ms"),
             run_ms: timing_ms("run_ms"),

@@ -19,7 +19,7 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
-use turbosyn::{CacheStats, Engine, MapOptions, MapReport, SynthesisError};
+use turbosyn::{CacheStats, Engine, LabelStats, MapOptions, MapReport, SynthesisError};
 use turbosyn_netlist::Circuit;
 
 use crate::proto::Algorithm;
@@ -49,10 +49,29 @@ pub struct MapOutcome {
     pub result: Result<MapReport, SynthesisError>,
     /// Cache counter increments attributable to this job alone.
     pub cache_delta: CacheStats,
+    /// Label-work counter increments attributable to this job alone
+    /// (sweeps, cut tests, worklist skips, warm starts, ...).
+    pub work_delta: LabelStats,
     /// Time spent admitted-but-waiting, in milliseconds.
     pub queue_ms: u64,
     /// Time spent inside the mapper, in milliseconds.
     pub run_ms: u64,
+}
+
+/// One worker's lifetime totals, as reported by the `stats` endpoint.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerStats {
+    /// Jobs that returned a clean report.
+    pub served: u64,
+    /// Jobs that returned a degraded (budget-concession) report.
+    pub degraded: u64,
+    /// Jobs that returned a typed error.
+    pub failed: u64,
+    /// Cache counters accumulated over every run of this worker's engine.
+    pub cache: CacheStats,
+    /// Label-work counters accumulated over every run of this worker's
+    /// engine.
+    pub work: LabelStats,
 }
 
 /// Lifetime counters of one worker, shared with the stats endpoint.
@@ -121,19 +140,17 @@ impl Pool {
             .sum()
     }
 
-    /// Per-worker `(served, degraded, failed, cache totals)` snapshots,
-    /// in worker order.
+    /// Per-worker lifetime snapshots, in worker order.
     #[must_use]
-    pub fn worker_stats(&self) -> Vec<(u64, u64, u64, CacheStats)> {
+    pub fn worker_stats(&self) -> Vec<WorkerStats> {
         self.workers
             .iter()
-            .map(|w| {
-                (
-                    w.counters.served.load(Ordering::Relaxed),
-                    w.counters.degraded.load(Ordering::Relaxed),
-                    w.counters.failed.load(Ordering::Relaxed),
-                    w.engine.cache_stats(),
-                )
+            .map(|w| WorkerStats {
+                served: w.counters.served.load(Ordering::Relaxed),
+                degraded: w.counters.degraded.load(Ordering::Relaxed),
+                failed: w.counters.failed.load(Ordering::Relaxed),
+                cache: w.engine.cache_stats(),
+                work: w.engine.label_stats(),
             })
             .collect()
     }
@@ -190,6 +207,7 @@ fn worker_loop(
         counters.running.store(1, Ordering::SeqCst);
         let queue_ms = ms_since(job.admitted_at);
         let before = engine.cache_stats();
+        let work_before = engine.label_stats();
         let started = Instant::now();
         let result = match job.algorithm {
             Algorithm::TurboSyn => engine.turbosyn(&job.circuit, &job.opts),
@@ -198,6 +216,7 @@ fn worker_loop(
         };
         let run_ms = ms_since(started);
         let cache_delta = engine.cache_stats().delta_since(before);
+        let work_delta = engine.label_stats().delta_since(work_before);
         match &result {
             Ok(r) if r.degradation.is_some() => {
                 counters.degraded.fetch_add(1, Ordering::Relaxed);
@@ -217,6 +236,7 @@ fn worker_loop(
             worker: index,
             result,
             cache_delta,
+            work_delta,
             queue_ms,
             run_ms,
         });
@@ -261,6 +281,7 @@ mod tests {
         let fp = fingerprint(&text);
         let mut workers = Vec::new();
         let mut deltas = Vec::new();
+        let mut work = Vec::new();
         for _ in 0..2 {
             let circuit = blif::parse(&text).expect("parses");
             let (tx, rx) = mpsc::sync_channel(1);
@@ -270,6 +291,7 @@ mod tests {
             outcome.result.as_ref().expect("maps cleanly");
             workers.push(worker);
             deltas.push(outcome.cache_delta);
+            work.push(outcome.work_delta);
         }
         assert_eq!(workers[0], workers[1], "same circuit pins to one worker");
         // The first run populates the expansion cache (cross-probe hits
@@ -285,9 +307,20 @@ mod tests {
             deltas[1],
             deltas[0]
         );
+        // The pinned worker's engine keeps its probe lineage, so the
+        // resubmission warm-starts and does strictly less label work.
+        assert!(work[0].sweeps > 0, "cold run sweeps: {:?}", work[0]);
+        assert!(
+            work[1].warm_started_probes > 0 && work[1].cut_tests < work[0].cut_tests,
+            "second run warm-starts its probes: {:?} vs {:?}",
+            work[1],
+            work[0]
+        );
         let stats = pool.worker_stats();
-        let served: u64 = stats.iter().map(|s| s.0).sum();
+        let served: u64 = stats.iter().map(|s| s.served).sum();
         assert_eq!(served, 2);
+        let work_total: u64 = stats.iter().map(|s| s.work.sweeps).sum();
+        assert_eq!(work_total, work[0].sweeps + work[1].sweeps);
         assert_eq!(pool.in_flight(), 0);
         pool.shutdown();
     }
@@ -303,9 +336,11 @@ mod tests {
         )
         .expect("submits");
         rx.recv().expect("replies").result.expect("maps");
-        assert!(pool.worker_stats()[0].3.expansion_misses > 0);
+        assert!(pool.worker_stats()[0].cache.expansion_misses > 0);
+        assert!(pool.worker_stats()[0].work.sweeps > 0);
         pool.reset_cache_stats();
-        assert_eq!(pool.worker_stats()[0].3, CacheStats::default());
+        assert_eq!(pool.worker_stats()[0].cache, CacheStats::default());
+        assert_eq!(pool.worker_stats()[0].work, LabelStats::default());
         pool.shutdown();
     }
 

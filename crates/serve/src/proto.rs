@@ -16,9 +16,12 @@
 //! `pong`, or `shutting_down`) echo the request `id`. A `result` frame
 //! carries the canonical [`MapReport` JSON](turbosyn::report_json)
 //! under `"report"` — byte-identical to the one-shot CLI's
-//! `--emit-json` output — plus per-request cache deltas and a timing
-//! breakdown (deliberately *outside* the report object, because timing
-//! is not deterministic).
+//! `--emit-json` output — plus per-request cache deltas (`"cache"`),
+//! label-work deltas (`"work"`: sweeps, cut tests, worklist skips, warm
+//! starts), and a timing breakdown (`"timing"`), all deliberately
+//! *outside* the report object, because timing and work depend on the
+//! engine's cache/lineage history while the report must stay a pure
+//! function of the input.
 //!
 //! Hostile input never panics the reader: oversized lines, truncated
 //! frames, invalid UTF-8, malformed JSON, and schema violations each
@@ -27,7 +30,7 @@
 //! established error surface).
 
 use std::io::BufRead;
-use turbosyn::{CacheStats, SynthesisError};
+use turbosyn::{CacheStats, LabelStats, SynthesisError};
 use turbosyn_json::{Json, JsonError};
 
 /// Default ceiling on one frame's byte length (BLIF payloads included).
@@ -494,6 +497,23 @@ pub fn cache_stats_from_json(j: &Json) -> CacheStats {
         expansion_misses: get("expansion_misses"),
         decomposition_hits: get("decomposition_hits"),
         decomposition_misses: get("decomposition_misses"),
+    }
+}
+
+/// Decodes a `work` object back into [`LabelStats`] (client side).
+/// Missing counters read as 0, so newer clients stay compatible with
+/// older servers.
+#[must_use]
+pub fn label_stats_from_json(j: &Json) -> LabelStats {
+    let get = |key: &str| j.get(key).and_then(Json::as_u64).unwrap_or(0);
+    LabelStats {
+        sweeps: get("sweeps"),
+        cut_tests: get("cut_tests"),
+        resyn_attempts: get("resyn_attempts"),
+        resyn_successes: get("resyn_successes"),
+        candidates_skipped: get("candidates_skipped"),
+        warm_started_probes: get("warm_started_probes"),
+        pld_checks_skipped: get("pld_checks_skipped"),
     }
 }
 

@@ -28,7 +28,10 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
-use turbosyn::{cache_stats_to_json, report_to_json, Budget, CancelToken, MapOptions, MapReport};
+use turbosyn::{
+    cache_stats_to_json, label_stats_to_json, report_to_json, Budget, CancelToken, MapOptions,
+    MapReport,
+};
 use turbosyn_json::Json;
 use turbosyn_netlist::blif;
 
@@ -455,6 +458,7 @@ fn result_frame(id: &str, outcome: &MapOutcome, report: &MapReport) -> Json {
         ("status", Json::from(status)),
         ("worker", Json::from(outcome.worker)),
         ("cache", cache_stats_to_json(&outcome.cache_delta)),
+        ("work", label_stats_to_json(&outcome.work_delta)),
         (
             "timing",
             Json::obj(vec![
@@ -477,12 +481,13 @@ fn stats_frame(shared: &Arc<Shared>, id: &str) -> Json {
         .map(Pool::worker_stats)
         .unwrap_or_default()
         .into_iter()
-        .map(|(served, degraded, failed, cache)| {
+        .map(|w| {
             Json::obj(vec![
-                ("served", Json::from(served)),
-                ("degraded", Json::from(degraded)),
-                ("failed", Json::from(failed)),
-                ("cache", cache_stats_to_json(&cache)),
+                ("served", Json::from(w.served)),
+                ("degraded", Json::from(w.degraded)),
+                ("failed", Json::from(w.failed)),
+                ("cache", cache_stats_to_json(&w.cache)),
+                ("work", label_stats_to_json(&w.work)),
             ])
         })
         .collect();
@@ -572,9 +577,26 @@ mod tests {
         assert_eq!(result.get("type").and_then(Json::as_str), Some("result"));
         assert_eq!(result.get("status").and_then(Json::as_str), Some("ok"));
         assert!(result.get("report").is_some());
+        let work = result.get("work").expect("work section");
+        assert!(work.get("sweeps").and_then(Json::as_u64).unwrap_or(0) > 0);
         let stats = Json::parse(&lines[2]).expect("stats json");
         assert_eq!(stats.get("served").and_then(Json::as_u64), Some(1));
         assert_eq!(stats.get("in_flight").and_then(Json::as_u64), Some(0));
+        let engines = stats.get("engines").and_then(Json::as_arr).expect("array");
+        let engine_sweeps: u64 = engines
+            .iter()
+            .map(|e| {
+                e.get("work")
+                    .and_then(|w| w.get("sweeps"))
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0)
+            })
+            .sum();
+        assert_eq!(
+            engine_sweeps,
+            work.get("sweeps").and_then(Json::as_u64).unwrap_or(0),
+            "the one served request accounts for all engine work"
+        );
     }
 
     #[test]

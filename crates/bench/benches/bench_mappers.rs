@@ -12,7 +12,9 @@
 //! `mappers/*` entries against the committed `BENCH_baseline.json`
 //! (machine-normalized through `calib_ns`). The `jobs/*` entries are
 //! informational — they document thread scaling, which depends on the
-//! runner's core count, so the gate does not threshold them.
+//! runner's core count, so the gate does not threshold them. The
+//! `phases/*` entries (per-phase trace timing attribution from an
+//! instrumented run) are likewise informational.
 //!
 //! The `probe_ladder/*` section runs the full φ binary search on the
 //! two largest generated circuits — cold, then resubmitted to the same
@@ -102,6 +104,31 @@ fn main() {
         rec.bench(&format!("mappers/turbosyn/{}", b.name), 10, || {
             black_box(turbosyn(black_box(c), &opts).expect("maps"));
         });
+    }
+
+    // Per-phase attribution: one traced TurboSYN run per pick circuit,
+    // with the sink's per-phase nanosecond totals attached as counters
+    // on a `phases/*` entry. Informational, like `jobs/*` — the totals
+    // are timing-derived and machine-dependent, so the gate does not
+    // threshold them; the BENCH_*.json archive simply shows where each
+    // run's time went (label probes vs min-cuts vs mapping generation).
+    for b in suite.iter().filter(|b| pick.contains(&b.name)) {
+        let sink = turbosyn::TraceSink::enabled();
+        let opts = MapOptions {
+            trace: sink.clone(),
+            ..MapOptions::default()
+        };
+        rec.bench_cold(&format!("phases/turbosyn/{}", b.name), || {
+            black_box(turbosyn(black_box(&b.circuit), &opts).expect("maps"));
+        });
+        let summary = sink.drain().summary();
+        rec.attach_counters(
+            summary
+                .phases
+                .iter()
+                .map(|p| (format!("phase_{}_ns", p.name), p.total_ns))
+                .collect(),
+        );
     }
 
     // Thread-scaling section: the largest generated circuit, mapped

@@ -1,0 +1,193 @@
+//! Validates a `--trace-out` Chrome-trace file: schema, span tree, and
+//! histogram consistency. CI's `trace-smoke` job runs this against a
+//! fresh trace of a mapped circuit.
+//!
+//! ```text
+//! trace_check [--allow-truncated] <trace.json>
+//! ```
+//!
+//! Checks, in order:
+//!
+//! 1. The file parses and has the exporter's top-level shape
+//!    (`displayTimeUnit` / `traceEvents` / `summary` / `wall_ns`).
+//! 2. Every trace event is a metadata (`"M"`) or complete (`"X"`)
+//!    event; every `"X"` event carries `ts`/`dur`/`pid`/`tid` integers
+//!    and `args` with `id`/`parent`/`seq`/`dur_ns`.
+//! 3. Span ids are unique and every non-zero `parent` refers to some
+//!    span's id (the tree is closed).
+//! 4. No span is `truncated` — i.e. none was still open when the trace
+//!    was drained — unless `--allow-truncated` is given (cancelled runs
+//!    legitimately truncate).
+//! 5. In the summary, every phase's histogram bucket counts sum to the
+//!    phase's span/op count, and the span phases' counts sum to the
+//!    top-level span total.
+//!
+//! Exit codes: `0` valid, `1` validation failure, `2` unreadable or
+//! unparseable input.
+
+use std::collections::HashSet;
+use std::process::ExitCode;
+use turbosyn_json::Json;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("trace_check: {msg}");
+    ExitCode::from(1)
+}
+
+fn int(v: Option<&Json>) -> Option<i128> {
+    match v {
+        Some(Json::Int(n)) => Some(*n),
+        _ => None,
+    }
+}
+
+fn main() -> ExitCode {
+    let mut allow_truncated = false;
+    let mut path: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--allow-truncated" => allow_truncated = true,
+            other if other.starts_with('-') => {
+                eprintln!("usage: trace_check [--allow-truncated] <trace.json>");
+                return ExitCode::from(2);
+            }
+            other => path = Some(other.to_string()),
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: trace_check [--allow-truncated] <trace.json>");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_check: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match Json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("trace_check: {path} is not valid JSON: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if root.get("displayTimeUnit") != Some(&Json::Str("ms".into())) {
+        return fail("missing displayTimeUnit:\"ms\"");
+    }
+    if int(root.get("wall_ns")).is_none() {
+        return fail("missing integer wall_ns");
+    }
+    let Some(Json::Arr(events)) = root.get("traceEvents") else {
+        return fail("traceEvents is missing or not an array");
+    };
+
+    let mut ids = HashSet::new();
+    let mut parents = Vec::new();
+    let mut spans: u64 = 0;
+    let mut truncated: u64 = 0;
+    for (i, event) in events.iter().enumerate() {
+        let ph = match event.get("ph") {
+            Some(Json::Str(s)) => s.as_str(),
+            _ => return fail(&format!("event {i} has no ph field")),
+        };
+        match ph {
+            "M" => continue,
+            "X" => {}
+            other => return fail(&format!("event {i} has unexpected ph {other:?}")),
+        }
+        spans += 1;
+        if !matches!(event.get("name"), Some(Json::Str(_))) {
+            return fail(&format!("event {i} has no name"));
+        }
+        for key in ["ts", "dur", "pid", "tid"] {
+            if int(event.get(key)).is_none() {
+                return fail(&format!("event {i} lacks integer {key}"));
+            }
+        }
+        let Some(args) = event.get("args") else {
+            return fail(&format!("event {i} has no args"));
+        };
+        let (Some(id), Some(parent), seq, dur) = (
+            int(args.get("id")),
+            int(args.get("parent")),
+            int(args.get("seq")),
+            int(args.get("dur_ns")),
+        ) else {
+            return fail(&format!("event {i} args lack integer id/parent"));
+        };
+        if seq.is_none() || dur.is_none() {
+            return fail(&format!("event {i} args lack integer seq/dur_ns"));
+        }
+        if id == 0 || !ids.insert(id) {
+            return fail(&format!("event {i} has zero or duplicate span id {id}"));
+        }
+        parents.push((i, parent));
+        if args.get("truncated") == Some(&Json::Bool(true)) {
+            truncated += 1;
+        }
+    }
+    for (i, parent) in parents {
+        if parent != 0 && !ids.contains(&parent) {
+            return fail(&format!("event {i} has dangling parent {parent}"));
+        }
+    }
+    if truncated > 0 && !allow_truncated {
+        return fail(&format!(
+            "{truncated} span(s) were still open at drain (unclosed spans); \
+             pass --allow-truncated only for cancelled runs"
+        ));
+    }
+
+    let Some(summary) = root.get("summary") else {
+        return fail("missing summary");
+    };
+    if int(summary.get("spans")) != Some(i128::from(spans)) {
+        return fail(&format!(
+            "summary.spans {:?} disagrees with the {spans} X events",
+            summary.get("spans")
+        ));
+    }
+    let Some(Json::Arr(phases)) = summary.get("phases") else {
+        return fail("summary.phases is missing or not an array");
+    };
+    for phase in phases {
+        let name = match phase.get("name") {
+            Some(Json::Str(s)) => s.clone(),
+            _ => return fail("a phase lacks a name"),
+        };
+        let Some(count) = int(phase.get("count")) else {
+            return fail(&format!("phase {name} lacks an integer count"));
+        };
+        let Some(Json::Arr(buckets)) = phase.get("buckets") else {
+            return fail(&format!("phase {name} lacks a buckets array"));
+        };
+        let mut sum: i128 = 0;
+        for bucket in buckets {
+            match bucket {
+                Json::Arr(kv) if kv.len() == 2 => match (&kv[0], &kv[1]) {
+                    (Json::Int(_), Json::Int(c)) => sum += c,
+                    _ => return fail(&format!("phase {name} has a non-integer bucket")),
+                },
+                _ => return fail(&format!("phase {name} has a malformed bucket")),
+            }
+        }
+        if sum != count {
+            return fail(&format!(
+                "phase {name} bucket counts sum to {sum}, expected {count}"
+            ));
+        }
+    }
+
+    println!(
+        "trace_check: {path} OK ({spans} spans, {} phases{})",
+        phases.len(),
+        if truncated > 0 {
+            format!(", {truncated} truncated")
+        } else {
+            String::new()
+        }
+    );
+    ExitCode::SUCCESS
+}

@@ -6,6 +6,12 @@
 //!   -o, --output <file>     write the mapped netlist (default: stdout)
 //!       --emit-json <file>  also write the canonical MapReport JSON (the
 //!                           same encoding the turbosyn-serve daemon returns)
+//!       --trace-out <file>  write a Chrome-trace-format phase trace of the
+//!                           run (load in chrome://tracing or Perfetto);
+//!                           written on every exit path, including budget
+//!                           cuts and Ctrl-C (the trace is then truncated
+//!                           but well-formed). Tracing never changes the
+//!                           mapping or the report bytes.
 //!   -k <K>                  LUT input count (default 5)
 //!   -a, --algorithm <name>  turbosyn | turbomap | flowsyn-s (default turbosyn)
 //!       --max-wires <1|2>   decomposition wires (default 1)
@@ -39,6 +45,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 use turbosyn::{
     flowsyn_s, turbomap, turbosyn, Budget, CancelToken, MapOptions, MapReport, SynthesisError,
+    TraceSink,
 };
 use turbosyn_netlist::{blif, opt, Circuit};
 
@@ -53,6 +60,7 @@ struct Args {
     input: String,
     output: Option<String>,
     emit_json: Option<String>,
+    trace_out: Option<String>,
     k: usize,
     algorithm: String,
     max_wires: usize,
@@ -66,7 +74,8 @@ struct Args {
 }
 
 fn usage() -> &'static str {
-    "usage: turbosyn-cli [-o out.blif] [--emit-json report.json] [-k K] \
+    "usage: turbosyn-cli [-o out.blif] [--emit-json report.json] \
+     [--trace-out trace.json] [-k K] \
      [-a turbosyn|turbomap|flowsyn-s] \
      [--max-wires 1|2] [--timeout-ms N] [--max-bdd-nodes N] [-j N] \
      [--min-registers] [--no-pack] [--optimize] [--stats] input.blif\n\
@@ -78,6 +87,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         input: String::new(),
         output: None,
         emit_json: None,
+        trace_out: None,
         k: 5,
         algorithm: "turbosyn".into(),
         max_wires: 1,
@@ -98,6 +108,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--emit-json" => {
                 args.emit_json = Some(it.next().ok_or("missing value for --emit-json")?.clone());
+            }
+            "--trace-out" => {
+                args.trace_out = Some(it.next().ok_or("missing value for --trace-out")?.clone());
             }
             "-k" => {
                 let v = it.next().ok_or("missing value for -k")?;
@@ -171,7 +184,12 @@ fn budget_for(args: &Args, cancel: CancelToken) -> Budget {
     b
 }
 
-fn run(args: &Args, circuit: &Circuit, cancel: CancelToken) -> Result<MapReport, SynthesisError> {
+fn run(
+    args: &Args,
+    circuit: &Circuit,
+    cancel: CancelToken,
+    trace: TraceSink,
+) -> Result<MapReport, SynthesisError> {
     let opts = MapOptions {
         k: args.k,
         max_wires: args.max_wires,
@@ -179,6 +197,7 @@ fn run(args: &Args, circuit: &Circuit, cancel: CancelToken) -> Result<MapReport,
         pack: args.pack,
         jobs: args.jobs,
         budget: budget_for(args, cancel),
+        trace,
         ..MapOptions::default()
     };
     match args.algorithm.as_str() {
@@ -230,6 +249,19 @@ fn install_ctrl_c(token: CancelToken) {
 
 #[cfg(not(unix))]
 fn install_ctrl_c(_token: CancelToken) {}
+
+/// Drains `sink` and writes the Chrome-trace JSON to `path`. Returns
+/// `false` (after printing the error) if the file cannot be written.
+fn write_trace(path: &str, sink: &TraceSink) -> bool {
+    let trace = sink.drain();
+    let mut json = turbosyn_json::chrome::chrome_trace(&trace).write();
+    json.push('\n');
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("cannot write {path}: {e}");
+        return false;
+    }
+    true
+}
 
 /// Delegates `turbosyn-cli serve ...` to the `turbosyn-serve` binary:
 /// first the one sitting next to this executable (the cargo layout),
@@ -297,7 +329,20 @@ fn main() -> ExitCode {
     }
     let cancel = CancelToken::new();
     install_ctrl_c(cancel.clone());
-    let report = match run(&args, &circuit, cancel) {
+    let sink = if args.trace_out.is_some() {
+        TraceSink::enabled()
+    } else {
+        TraceSink::disabled()
+    };
+    let outcome = run(&args, &circuit, cancel, sink.clone());
+    // The trace file is written on every exit path — a budget cut or
+    // Ctrl-C yields a truncated but well-formed trace.
+    if let Some(path) = &args.trace_out {
+        if !write_trace(path, &sink) {
+            return ExitCode::from(EXIT_INTERNAL);
+        }
+    }
+    let report = match outcome {
         Ok(r) => r,
         Err(e) => {
             eprintln!("{e}");
@@ -373,6 +418,7 @@ mod tests {
         assert!(a.pack && !a.min_registers && !a.optimize && !a.stats);
         assert_eq!(a.output, None);
         assert_eq!(a.emit_json, None);
+        assert_eq!(a.trace_out, None);
         assert_eq!(a.timeout_ms, None);
         assert_eq!(a.max_bdd_nodes, None);
         assert_eq!(a.jobs, 1);
@@ -385,6 +431,8 @@ mod tests {
             "out.blif",
             "--emit-json",
             "report.json",
+            "--trace-out",
+            "trace.json",
             "-k",
             "4",
             "-a",
@@ -406,6 +454,7 @@ mod tests {
         .expect("parses");
         assert_eq!(a.output.as_deref(), Some("out.blif"));
         assert_eq!(a.emit_json.as_deref(), Some("report.json"));
+        assert_eq!(a.trace_out.as_deref(), Some("trace.json"));
         assert_eq!(a.k, 4);
         assert_eq!(a.algorithm, "turbomap");
         assert_eq!(a.max_wires, 2);

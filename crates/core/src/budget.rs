@@ -252,17 +252,35 @@ pub struct Gauge {
     start: Instant,
     work: AtomicU64,
     events: Mutex<Vec<DegradeEvent>>,
+    trace: turbosyn_trace::TraceSink,
 }
 
 impl Gauge {
     /// Starts metering against `budget`; the deadline clock starts now.
+    /// Tracing is disabled; attach a sink with [`Gauge::with_trace`].
     pub fn new(budget: Budget) -> Self {
         Gauge {
             budget,
             start: Instant::now(),
             work: AtomicU64::new(0),
             events: Mutex::new(Vec::new()),
+            trace: turbosyn_trace::TraceSink::disabled(),
         }
+    }
+
+    /// Attaches a trace sink. The gauge is already threaded through
+    /// every governed hot path, so it doubles as the instrumentation
+    /// carrier — label sweeps, min-cuts, and expansions record into
+    /// whatever sink rides here.
+    #[must_use]
+    pub fn with_trace(mut self, sink: turbosyn_trace::TraceSink) -> Self {
+        self.trace = sink;
+        self
+    }
+
+    /// The trace sink riding on this gauge (disabled by default).
+    pub fn trace(&self) -> &turbosyn_trace::TraceSink {
+        &self.trace
     }
 
     /// The budget being enforced.

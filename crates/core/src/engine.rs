@@ -19,6 +19,7 @@ use turbosyn_netlist::Circuit;
 #[derive(Debug)]
 pub struct Engine {
     pub(crate) caches: SessionCaches,
+    trace: turbosyn_trace::TraceSink,
 }
 
 impl Default for Engine {
@@ -28,11 +29,39 @@ impl Default for Engine {
 }
 
 impl Engine {
-    /// A fresh engine with empty caches.
+    /// A fresh engine with empty caches and tracing disabled.
     pub fn new() -> Self {
         Engine {
             caches: SessionCaches::new(),
+            trace: turbosyn_trace::TraceSink::disabled(),
         }
+    }
+
+    /// A fresh engine whose runs record into `sink` by default. A
+    /// per-call [`MapOptions::trace`] that is enabled takes precedence;
+    /// otherwise every mapper call on this engine instruments into
+    /// `sink`, and the owner drains it between runs (the
+    /// `turbosyn-serve` worker discipline).
+    pub fn with_trace(sink: turbosyn_trace::TraceSink) -> Self {
+        Engine {
+            caches: SessionCaches::new(),
+            trace: sink,
+        }
+    }
+
+    /// The engine-default trace sink (disabled unless constructed via
+    /// [`Engine::with_trace`]).
+    pub fn trace(&self) -> &turbosyn_trace::TraceSink {
+        &self.trace
+    }
+
+    /// Per-call options overlaid with the engine default sink.
+    fn effective(&self, opts: &MapOptions) -> MapOptions {
+        let mut opts = opts.clone();
+        if !opts.trace.is_enabled() {
+            opts.trace = self.trace.clone();
+        }
+        opts
     }
 
     /// Cache counters accumulated over every run of this engine.
@@ -81,7 +110,7 @@ impl Engine {
     ///
     /// Same contract as [`crate::turbomap`].
     pub fn turbomap(&self, c: &Circuit, opts: &MapOptions) -> Result<MapReport, SynthesisError> {
-        mappers::turbomap_with(c, opts, &self.caches)
+        mappers::turbomap_with(c, &self.effective(opts), &self.caches)
     }
 
     /// [`crate::turbosyn`] sharing this engine's caches.
@@ -90,7 +119,7 @@ impl Engine {
     ///
     /// Same contract as [`crate::turbosyn`].
     pub fn turbosyn(&self, c: &Circuit, opts: &MapOptions) -> Result<MapReport, SynthesisError> {
-        mappers::turbosyn_with(c, opts, &self.caches)
+        mappers::turbosyn_with(c, &self.effective(opts), &self.caches)
     }
 
     /// [`crate::flowsyn_s`] sharing this engine's caches.
@@ -99,7 +128,7 @@ impl Engine {
     ///
     /// Same contract as [`crate::flowsyn_s`].
     pub fn flowsyn_s(&self, c: &Circuit, opts: &MapOptions) -> Result<MapReport, SynthesisError> {
-        mappers::flowsyn_s_with(c, opts, &self.caches)
+        mappers::flowsyn_s_with(c, &self.effective(opts), &self.caches)
     }
 
     /// [`crate::map_combinational`] sharing this engine's caches.
@@ -113,6 +142,6 @@ impl Engine {
         opts: &MapOptions,
         resynthesis: bool,
     ) -> Result<(Circuit, i64), SynthesisError> {
-        mappers::map_combinational_with(c, opts, resynthesis, &self.caches)
+        mappers::map_combinational_with(c, &self.effective(opts), resynthesis, &self.caches)
     }
 }

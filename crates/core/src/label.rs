@@ -247,15 +247,22 @@ pub(crate) fn label_candidate(
 ) -> Result<i64, Interrupted> {
     // Flow test: K-cut of height <= L(v)?
     stats.cut_tests += 1;
-    match caches
-        .exp
-        .expansion(c, v, opts.phi, labels, big_l, opts.expand, gauge)?
-    {
+    let expanded = {
+        let _t = gauge.trace().hot("expand");
+        caches
+            .exp
+            .expansion(c, v, opts.phi, labels, big_l, opts.expand, gauge)?
+    };
+    match expanded {
         Ok(entry) => {
             if let Some(d) = deps.as_deref_mut() {
                 d.extend(entry.exp.nodes.iter().map(|n| n.orig));
             }
-            if entry.min_cut(opts.k, scratch).is_some() {
+            let cut = {
+                let _t = gauge.trace().hot("flow.min_cut");
+                entry.min_cut(opts.k, scratch)
+            };
+            if cut.is_some() {
                 return Ok(big_l);
             }
             if opts.resynthesis {
@@ -299,19 +306,25 @@ pub(crate) fn resyn_realization(
     let mut last_cut: Option<Vec<(usize, i64)>> = None;
     for h in 0..64 {
         let height = big_l - h;
-        let entry =
-            match caches
+        let expanded = {
+            let _t = gauge.trace().hot("expand");
+            caches
                 .exp
                 .expansion(c, v, opts.phi, labels, height, opts.expand, gauge)?
-            {
-                Ok(entry) => entry,
-                Err(ExpandFail::PiMustBeInside) => return Ok(None),
-            };
+        };
+        let entry = match expanded {
+            Ok(entry) => entry,
+            Err(ExpandFail::PiMustBeInside) => return Ok(None),
+        };
         if let Some(d) = deps.as_deref_mut() {
             d.extend(entry.exp.nodes.iter().map(|n| n.orig));
         }
         let exp = &entry.exp;
-        let Some(cut) = entry.min_cut(opts.cmax, scratch) else {
+        let cut = {
+            let _t = gauge.trace().hot("flow.min_cut");
+            entry.min_cut(opts.cmax, scratch)
+        };
+        let Some(cut) = cut else {
             return Ok(None); // cut-size > Cmax (give up)
         };
         if cut.len() <= opts.k && exp.cut_height(&cut, opts.phi, labels) <= big_l {
@@ -327,18 +340,22 @@ pub(crate) fn resyn_realization(
             continue; // identical cut function and criticalities: same verdict
         }
         last_cut = Some(key);
-        match crate::seqdecomp::resynthesize_cached(
-            exp,
-            c,
-            &cut,
-            opts.phi,
-            labels,
-            big_l,
-            opts.k,
-            opts.max_wires,
-            opts.max_bdd_nodes,
-            &caches.decomp,
-        ) {
+        let resyn = {
+            let _t = gauge.trace().hot("seqdecomp");
+            crate::seqdecomp::resynthesize_cached(
+                exp,
+                c,
+                &cut,
+                opts.phi,
+                labels,
+                big_l,
+                opts.k,
+                opts.max_wires,
+                opts.max_bdd_nodes,
+                &caches.decomp,
+            )
+        };
+        match resyn {
             Ok(Some(r)) => return Ok(Some(r)),
             Ok(None) => {}
             Err(BddError::NodeLimit { .. }) => {
@@ -569,6 +586,10 @@ fn compute_labels_inner(
         }
     }
 
+    // Opened *after* the warm-start early returns: a fully replayed probe
+    // emits no `label.probe` span, which is exactly what the serve
+    // `metrics` cold/warm comparison measures.
+    let _probe_span = gauge.trace().span("label.probe");
     let cond = condensation(&g);
     let worklist = !opts.full_sweeps;
     // Member-local index of each node (u32::MAX = not in the current
@@ -627,6 +648,7 @@ fn compute_labels_inner(
 
         let mut sweep = 0u64;
         loop {
+            let _sweep_span = gauge.trace().span("label.sweep");
             gauge.check()?;
             sweep += 1;
             stats.sweeps += 1;
@@ -746,6 +768,7 @@ fn compute_labels_inner(
                 break;
             }
             if opts.stop == StopRule::Pld && !pld_disabled {
+                let _pld_span = gauge.trace().span("pld.check");
                 let verdict = probe
                     .as_mut()
                     .expect("probe built for cyclic PLD SCCs")

@@ -82,4 +82,6 @@ pub use mappers::{flowsyn_s, map_combinational, turbomap, turbosyn, MapOptions, 
 pub use report_json::{
     cache_stats_to_json, degradation_to_json, label_stats_to_json, report_to_json,
 };
+pub use turbosyn_trace as trace;
+pub use turbosyn_trace::TraceSink;
 pub use verify::{verify_mapping, VerifyError};

@@ -76,6 +76,11 @@ pub struct MapOptions {
     /// [`MapReport::degradation`]) or fail with a typed
     /// [`SynthesisError`] if no sound result exists yet.
     pub budget: Budget,
+    /// Phase-trace sink. Disabled by default (instrumentation compiles
+    /// to near-no-ops); attach an enabled sink and drain it after the
+    /// run to collect spans, hot-op histograms, and counters. Tracing
+    /// never alters any mapping decision or report byte.
+    pub trace: turbosyn_trace::TraceSink,
 }
 
 impl Default for MapOptions {
@@ -94,6 +99,7 @@ impl Default for MapOptions {
             full_sweeps: false,
             warm_start: true,
             budget: Budget::default(),
+            trace: turbosyn_trace::TraceSink::disabled(),
         }
     }
 }
@@ -205,6 +211,7 @@ fn drive(
     caches: &SessionCaches,
 ) -> Result<MapReport, SynthesisError> {
     let start = Instant::now();
+    let _drive_span = gauge.trace().span("drive");
     opts.validate()?;
     let c = prepare(input, opts.k)?;
     gauge.check()?; // a pre-cancelled token / zero deadline fails fast
@@ -278,15 +285,23 @@ fn drive(
     // deadline: the search already committed to φ, and a verified result
     // beats a wasted run (bounded soft overshoot, documented on Budget).
     let lopts = opts.labels_for(phi, resynthesis);
-    let mut mapped = generate_mapping_with(&c, &labels, &lopts, caches)
-        .map_err(|e| SynthesisError::Internal(e.to_string()))?;
-    area::sweep(&mut mapped);
-    if opts.pack {
-        area::pack(&mut mapped, opts.k);
+    let mapped = {
+        let _t = gauge.trace().span("mapgen");
+        let mut mapped = generate_mapping_with(&c, &labels, &lopts, caches)
+            .map_err(|e| SynthesisError::Internal(e.to_string()))?;
         area::sweep(&mut mapped);
+        if opts.pack {
+            area::pack(&mut mapped, opts.k);
+            area::sweep(&mut mapped);
+        }
+        mapped
+    };
+    {
+        let _t = gauge.trace().span("verify");
+        verify_mapping(&c, &mapped, opts.k, phi, opts.verify_cycles)?;
     }
-    verify_mapping(&c, &mapped, opts.k, phi, opts.verify_cycles)?;
 
+    let _retime_span = gauge.trace().span("retime");
     let rr = retime_with_pipelining(&mapped);
     let final_circuit = finalize_registers(rr.circuit, rr.period, opts);
     Ok(MapReport {
@@ -377,7 +392,7 @@ pub(crate) fn turbomap_with(
     opts: &MapOptions,
     caches: &SessionCaches,
 ) -> Result<MapReport, SynthesisError> {
-    let gauge = Gauge::new(opts.budget.clone());
+    let gauge = Gauge::new(opts.budget.clone()).with_trace(opts.trace.clone());
     drive("TurboMap", c, opts, false, None, &gauge, caches)
 }
 
@@ -402,7 +417,7 @@ pub(crate) fn turbosyn_with(
     opts.validate()?;
     // Upper bound from TurboMap's label search (labels only — cheap).
     let prep = prepare(c, opts.k)?;
-    let gauge = Gauge::new(opts.budget.clone());
+    let gauge = Gauge::new(opts.budget.clone()).with_trace(opts.trace.clone());
     let tm_ub = period_lower_bound(&prep).max(1);
     let mut ub = tm_ub;
     // Find TurboMap's minimum phi to tighten the search range.
@@ -456,7 +471,7 @@ pub(crate) fn map_combinational_with(
         ));
     }
     let prep = prepare(c, opts.k)?;
-    let gauge = Gauge::new(opts.budget.clone());
+    let gauge = Gauge::new(opts.budget.clone()).with_trace(opts.trace.clone());
     // With zero register weights the sequential labeler *is* FlowMap: φ
     // is irrelevant (no weights), and every φ is feasible on a DAG.
     let lopts = opts.labels_for(1, resynthesis);
@@ -502,7 +517,7 @@ pub(crate) fn flowsyn_s_with(
     let start = Instant::now();
     opts.validate()?;
     let prep = prepare(c, opts.k)?;
-    let gauge = Gauge::new(opts.budget.clone());
+    let gauge = Gauge::new(opts.budget.clone()).with_trace(opts.trace.clone());
 
     // --- Split at registers -------------------------------------------
     // Pseudo-PI per distinct (source, weight>0) pair; every register

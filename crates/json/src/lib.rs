@@ -6,9 +6,11 @@
 //!
 //! Design constraints (all deliberate):
 //!
-//! * **No dependencies.** The workspace is hermetic; this is a
+//! * **No external dependencies.** The workspace is hermetic; this is a
 //!   hand-rolled recursive-descent parser like the one it replaces in
-//!   `turbosyn-bench`, promoted to a crate so it is written once.
+//!   `turbosyn-bench`, promoted to a crate so it is written once. The
+//!   only dependency is the sibling zero-dep `turbosyn-trace` crate,
+//!   which the [`chrome`] exporter serializes.
 //! * **Integers only.** Every schema in this workspace uses integer
 //!   numbers (node counts, nanoseconds, φ values). Floating-point
 //!   literals are rejected with a clear error rather than parsed with
@@ -23,6 +25,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod chrome;
 
 use std::fmt::Write as _;
 

@@ -49,6 +49,7 @@ client:
                  [--timeout-ms N] [--max-bdd-nodes N] [--max-work N]
                  [--max-sweeps N] [--emit-json PATH]
   turbosyn-serve --client ADDR stats
+  turbosyn-serve --client ADDR metrics
   turbosyn-serve --client ADDR ping
   turbosyn-serve --client ADDR cancel TARGET_ID
   turbosyn-serve --client ADDR shutdown
@@ -187,6 +188,13 @@ fn run_client(addr: &str, rest: &[String]) -> ExitCode {
             }
             Err(e) => client_error(&e),
         },
+        Some("metrics") => match client.metrics() {
+            Ok(metrics) => {
+                println!("{}", metrics.write());
+                ExitCode::from(EXIT_OK)
+            }
+            Err(e) => client_error(&e),
+        },
         Some("ping") => match client.ping() {
             Ok(()) => {
                 println!("pong");
@@ -212,7 +220,7 @@ fn run_client(addr: &str, rest: &[String]) -> ExitCode {
             Err(e) => client_error(&e),
         },
         Some(other) => usage_error(&format!("unknown client command {other:?}")),
-        None => usage_error("--client needs a command (map|stats|ping|cancel|shutdown)"),
+        None => usage_error("--client needs a command (map|stats|metrics|ping|cancel|shutdown)"),
     }
 }
 

@@ -242,6 +242,21 @@ impl Client {
         Self::expect_type(self.round_trip(&frame)?, "stats")
     }
 
+    /// Fetches the per-phase trace metrics frame (histograms and span
+    /// totals, per worker and pool-wide).
+    ///
+    /// # Errors
+    ///
+    /// Transport or protocol failures.
+    pub fn metrics(&mut self) -> Result<Json, ClientError> {
+        let id = self.next_id();
+        let frame = Json::obj(vec![
+            ("type", Json::from("metrics")),
+            ("id", Json::from(id)),
+        ]);
+        Self::expect_type(self.round_trip(&frame)?, "metrics")
+    }
+
     /// Requests cancellation of an in-flight map request (submitted on
     /// *another* connection — this one is busy waiting if it submitted).
     /// Returns whether the target was found still running.

@@ -16,9 +16,10 @@
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
+use turbosyn::trace::{Summary, TraceSink};
 use turbosyn::{CacheStats, Engine, LabelStats, MapOptions, MapReport, SynthesisError};
 use turbosyn_netlist::Circuit;
 
@@ -99,6 +100,10 @@ struct WorkerSlot {
     tx: mpsc::Sender<MapJob>,
     engine: Arc<Engine>,
     counters: Arc<WorkerCounters>,
+    /// Per-phase trace aggregates over every job this worker ran. The
+    /// worker drains its engine's sink after each job and folds the
+    /// result in here; the `metrics` endpoint snapshots it.
+    summary: Arc<Mutex<Summary>>,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -155,6 +160,15 @@ impl Pool {
             .collect()
     }
 
+    /// Per-worker trace summaries, in worker order (snapshots).
+    #[must_use]
+    pub fn worker_metrics(&self) -> Vec<Summary> {
+        self.workers
+            .iter()
+            .map(|w| w.summary.lock().expect("worker summary poisoned").clone())
+            .collect()
+    }
+
     /// Zeroes every engine's cache counters (entries stay warm).
     pub fn reset_cache_stats(&self) {
         for w in &self.workers {
@@ -181,18 +195,33 @@ impl Pool {
 
 fn spawn_worker(index: usize) -> WorkerSlot {
     let (tx, rx) = mpsc::channel::<MapJob>();
-    let engine = Arc::new(Engine::new());
+    // Every worker engine records into its own always-on sink; the
+    // worker drains it between jobs, so the per-job cost is bounded and
+    // the `metrics` endpoint always sees completed jobs only.
+    let sink = TraceSink::enabled();
+    let engine = Arc::new(Engine::with_trace(sink.clone()));
     let counters = Arc::new(WorkerCounters::default());
+    let summary = Arc::new(Mutex::new(Summary::default()));
     let worker_engine = Arc::clone(&engine);
     let worker_counters = Arc::clone(&counters);
+    let worker_summary = Arc::clone(&summary);
     let handle = std::thread::Builder::new()
         .name(format!("turbosyn-worker-{index}"))
-        .spawn(move || worker_loop(index, &rx, &worker_engine, &worker_counters))
+        .spawn(move || {
+            worker_loop(
+                index,
+                &rx,
+                &worker_engine,
+                &worker_counters,
+                &worker_summary,
+            )
+        })
         .expect("spawns worker thread");
     WorkerSlot {
         tx,
         engine,
         counters,
+        summary,
         handle: Some(handle),
     }
 }
@@ -202,6 +231,7 @@ fn worker_loop(
     rx: &mpsc::Receiver<MapJob>,
     engine: &Engine,
     counters: &WorkerCounters,
+    summary: &Mutex<Summary>,
 ) {
     while let Ok(job) = rx.recv() {
         counters.running.store(1, Ordering::SeqCst);
@@ -217,6 +247,11 @@ fn worker_loop(
         let run_ms = ms_since(started);
         let cache_delta = engine.cache_stats().delta_since(before);
         let work_delta = engine.label_stats().delta_since(work_before);
+        let job_summary = engine.trace().drain().summary();
+        summary
+            .lock()
+            .expect("worker summary poisoned")
+            .merge(&job_summary);
         match &result {
             Ok(r) if r.degradation.is_some() => {
                 counters.degraded.fetch_add(1, Ordering::Relaxed);

@@ -8,12 +8,13 @@
 //! {"type":"map","id":"r2","path":"designs/s420.blif"}
 //! {"type":"cancel","id":"c1","target":"r1"}
 //! {"type":"stats","id":"s1"}
+//! {"type":"metrics","id":"m1"}
 //! {"type":"ping","id":"p1"}
 //! {"type":"shutdown","id":"q1"}
 //! ```
 //!
-//! Responses (`type` is `result`, `error`, `stats`, `cancelled`,
-//! `pong`, or `shutting_down`) echo the request `id`. A `result` frame
+//! Responses (`type` is `result`, `error`, `stats`, `metrics`,
+//! `cancelled`, `pong`, or `shutting_down`) echo the request `id`. A `result` frame
 //! carries the canonical [`MapReport` JSON](turbosyn::report_json)
 //! under `"report"` — byte-identical to the one-shot CLI's
 //! `--emit-json` output — plus per-request cache deltas (`"cache"`),
@@ -290,6 +291,12 @@ pub enum Request {
         /// This frame's id.
         id: String,
     },
+    /// Report per-phase trace aggregates (histograms, span totals) per
+    /// worker and pool-wide.
+    Metrics {
+        /// This frame's id.
+        id: String,
+    },
     /// Liveness probe.
     Ping {
         /// This frame's id.
@@ -311,6 +318,7 @@ impl Request {
             Request::Map(m) => &m.id,
             Request::Cancel { id, .. }
             | Request::Stats { id }
+            | Request::Metrics { id }
             | Request::Ping { id }
             | Request::Shutdown { id } => id,
         }
@@ -342,6 +350,10 @@ impl Request {
             "stats" => {
                 reject_unknown_keys(pairs, &["type", "id"])?;
                 Ok(Request::Stats { id })
+            }
+            "metrics" => {
+                reject_unknown_keys(pairs, &["type", "id"])?;
+                Ok(Request::Metrics { id })
             }
             "ping" => {
                 reject_unknown_keys(pairs, &["type", "id"])?;

@@ -32,6 +32,7 @@ use turbosyn::{
     cache_stats_to_json, label_stats_to_json, report_to_json, Budget, CancelToken, MapOptions,
     MapReport,
 };
+use turbosyn_json::chrome::summary_to_json;
 use turbosyn_json::Json;
 use turbosyn_netlist::blif;
 
@@ -267,6 +268,7 @@ fn dispatch(shared: &Arc<Shared>, request: Request) -> (Json, Option<Ticket>) {
             Json::obj(vec![("type", Json::from("pong")), ("id", Json::from(id))])
         }
         Request::Stats { id } => stats_frame(shared, &id),
+        Request::Metrics { id } => metrics_frame(shared, &id),
         Request::Shutdown { id } => {
             shared.begin_drain();
             Json::obj(vec![
@@ -516,6 +518,55 @@ fn stats_frame(shared: &Arc<Shared>, id: &str) -> Json {
         ),
         ("draining", Json::from(shared.admission.is_draining())),
         ("engines", Json::Arr(engines)),
+    ])
+}
+
+/// The `metrics` response: per-phase trace aggregates. `"workers"`
+/// holds one summary per pool worker (worker order); `"phases"` is the
+/// pool-wide merge of all of them. Only completed jobs contribute —
+/// each worker drains its engine's sink after a job finishes.
+fn metrics_frame(shared: &Arc<Shared>, id: &str) -> Json {
+    let summaries = shared
+        .pool
+        .lock()
+        .expect("pool poisoned")
+        .as_ref()
+        .map(Pool::worker_metrics)
+        .unwrap_or_default();
+    let mut pool_wide = turbosyn::trace::Summary::default();
+    let workers: Vec<Json> = summaries
+        .iter()
+        .enumerate()
+        .map(|(index, summary)| {
+            pool_wide.merge(summary);
+            let mut obj = summary_to_json(summary);
+            if let Json::Obj(pairs) = &mut obj {
+                pairs.insert(0, ("worker".into(), Json::from(index as u64)));
+            }
+            obj
+        })
+        .collect();
+    let merged = summary_to_json(&pool_wide);
+    Json::obj(vec![
+        ("type", Json::from("metrics")),
+        ("id", Json::from(id)),
+        (
+            "spans",
+            merged.get("spans").cloned().unwrap_or(Json::Int(0)),
+        ),
+        (
+            "span_ns",
+            merged.get("span_ns").cloned().unwrap_or(Json::Int(0)),
+        ),
+        (
+            "phases",
+            merged.get("phases").cloned().unwrap_or(Json::Arr(vec![])),
+        ),
+        (
+            "counters",
+            merged.get("counters").cloned().unwrap_or(Json::Arr(vec![])),
+        ),
+        ("workers", Json::Arr(workers)),
     ])
 }
 

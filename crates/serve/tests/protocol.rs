@@ -75,6 +75,13 @@ fn malformed_frames_map_to_typed_errors() {
             "{\"type\":\"stats\",\"id\":\"s\",\"verbose\":true}",
             "bad_frame",
         ),
+        // Metrics-specific schema violations.
+        ("{\"type\":\"metrics\"}", "bad_frame"),
+        ("{\"type\":\"metrics\",\"id\":9}", "bad_frame"),
+        (
+            "{\"type\":\"metrics\",\"id\":\"m\",\"worker\":0}",
+            "bad_frame",
+        ),
     ];
     for (line, want_code) in cases {
         let err = Request::parse(line).expect_err(line);

@@ -249,6 +249,100 @@ fn saturated_service_rejects_with_retry_hint() {
     server.wait();
 }
 
+/// Pulls `(name, count, bucket-sum)` triples out of a metrics frame's
+/// pool-wide `phases` array.
+fn metric_phases(frame: &Json) -> Vec<(String, u64, u64)> {
+    let Some(Json::Arr(phases)) = frame.get("phases") else {
+        panic!("metrics frame has a phases array: {}", frame.write());
+    };
+    phases
+        .iter()
+        .map(|phase| {
+            let name = match phase.get("name") {
+                Some(Json::Str(s)) => s.clone(),
+                other => panic!("phase name: {other:?}"),
+            };
+            let count = phase.get("count").and_then(Json::as_u64).expect("count");
+            let Some(Json::Arr(buckets)) = phase.get("buckets") else {
+                panic!("phase {name} has buckets");
+            };
+            let sum = buckets
+                .iter()
+                .map(|pair| match pair {
+                    Json::Arr(kv) => kv[1].as_u64().expect("bucket count"),
+                    other => panic!("bucket pair: {other:?}"),
+                })
+                .sum();
+            (name, count, sum)
+        })
+        .collect()
+}
+
+fn phase_count(frame: &Json, name: &str) -> u64 {
+    metric_phases(frame)
+        .iter()
+        .find(|(n, _, _)| n == name)
+        .map(|(_, c, _)| *c)
+        .unwrap_or(0)
+}
+
+#[test]
+fn metrics_shows_lineage_replay_and_histograms_stay_consistent() {
+    let (server, addr) = start(ServeConfig::default());
+    let text = blif::write(&figure1());
+    let mut client = Client::connect(&addr).expect("connects");
+
+    // Before any job the frame is well-formed and empty.
+    let empty = client.metrics().expect("metrics");
+    assert_eq!(empty.get("spans").and_then(Json::as_u64), Some(0));
+    assert!(metric_phases(&empty).is_empty());
+
+    client.map_blif(&text).expect("cold map");
+    let cold = client.metrics().expect("metrics after cold run");
+    client.map_blif(&text).expect("warm map");
+    let warm = client.metrics().expect("metrics after warm run");
+
+    // Metrics are cumulative per worker, so the warm job's own probe
+    // spans are the increment between the two snapshots. Resubmitting
+    // the identical circuit replays every probe from the engine's
+    // lineage — each replayed probe returns before the `label.probe`
+    // span opens, so the increment collapses.
+    let cold_probes = phase_count(&cold, "label.probe");
+    let warm_probes = phase_count(&warm, "label.probe") - cold_probes;
+    assert!(cold_probes > 0, "cold run records label.probe spans");
+    assert!(
+        warm_probes < cold_probes,
+        "lineage replay must suppress label.probe spans on resubmission \
+         (cold {cold_probes}, warm increment {warm_probes})"
+    );
+
+    // Every phase's histogram bucket counts sum to its span/op count,
+    // pool-wide and per worker.
+    for (name, count, sum) in metric_phases(&warm) {
+        assert_eq!(sum, count, "phase {name} bucket counts sum to its count");
+    }
+    let Some(Json::Arr(workers)) = warm.get("workers") else {
+        panic!("metrics frame has a workers array");
+    };
+    assert!(!workers.is_empty());
+    let mut worker_spans = 0;
+    for worker in workers {
+        assert!(worker.get("worker").and_then(Json::as_u64).is_some());
+        worker_spans += worker.get("spans").and_then(Json::as_u64).expect("spans");
+        for (name, count, sum) in metric_phases(worker) {
+            assert_eq!(sum, count, "worker phase {name} bucket sum");
+        }
+    }
+    assert_eq!(
+        warm.get("spans").and_then(Json::as_u64),
+        Some(worker_spans),
+        "pool-wide span total is the sum over workers"
+    );
+
+    client.shutdown().expect("shutdown ack");
+    server.wait();
+}
+
 #[test]
 fn shutdown_drains_in_flight_work_then_wait_returns() {
     let (server, addr) = start(ServeConfig {
